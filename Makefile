@@ -1,0 +1,40 @@
+# Offline, stdlib-only build. See README.md.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per reproduced figure/table plus the micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-style experiment tables with shape checks.
+experiments:
+	$(GO) run ./cmd/hddbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/inventory
+	$(GO) run ./examples/reporting
+	$(GO) run ./examples/decompose
+	$(GO) run ./examples/operations
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,68 @@
+// Command hddbench runs the reproduction experiments — one per figure of
+// Hsu (1982) plus the quantitative sweeps and ablations — and prints the
+// paper-style tables with their shape checks.
+//
+// Usage:
+//
+//	hddbench -list
+//	hddbench -exp all
+//	hddbench -exp fig10,sweep-depth -clients 16 -txns 300 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdd/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Int64("seed", 1, "random seed")
+		clients = flag.Int("clients", 8, "concurrent clients for simulator-driven experiments")
+		txns    = flag.Int("txns", 150, "committed transactions per client")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-18s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	params := experiments.Params{Seed: *seed, Clients: *clients, TxnsPerClient: *txns}
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		if bad := res.FailedChecks(); len(bad) > 0 {
+			failed += len(bad)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,221 @@
+// Command hddcheck validates a hierarchical database decomposition: it
+// reads a partition spec, builds the data hierarchy graph by transaction
+// analysis (§3.2), reports whether it is a transitive semi-tree, and — if
+// not — proposes a legalized merging (§7.2).
+//
+// The spec format is line-oriented text:
+//
+//	segment <name>                      # one per segment, in index order
+//	class <name> writes <seg> [reads <seg>,<seg>,...]
+//
+// Segment references may be names or indices. Lines starting with '#' are
+// comments. With no file argument, a demonstration spec (the paper's
+// inventory application) is checked.
+//
+// Usage:
+//
+//	hddcheck [spec-file]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hdd/internal/decompose"
+	"hdd/internal/schema"
+)
+
+const demoSpec = `# Hsu (1982) Figure 2: the retail inventory application
+segment events
+segment inventory
+segment on-order
+segment profiles
+class type-1 writes events
+class type-2 writes inventory reads events
+class type-3 writes on-order reads events,inventory
+class profile-builder writes profiles reads events,on-order
+`
+
+func main() {
+	var input io.Reader = strings.NewReader(demoSpec)
+	source := "built-in demo spec (inventory application)"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		input = f
+		source = os.Args[1]
+	}
+
+	names, specs, err := parseSpec(input)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hddcheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("checking %s: %d segments, %d transaction types\n\n", source, len(names), len(specs))
+
+	dhg, err := decompose.BuildDHG(len(names), specs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hddcheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println("data hierarchy graph (D_i → D_j: a type writing D_i accesses D_j):")
+	for _, a := range dhg.Arcs() {
+		fmt.Printf("  %s → %s\n", names[a[0]], names[a[1]])
+	}
+
+	if dhg.IsTransitiveSemiTree() {
+		fmt.Println("\nresult: TST-LEGAL — the HDD protocols apply directly")
+		fmt.Println("critical arcs (transitive reduction):")
+		for _, a := range dhg.TransitiveReduction().Arcs() {
+			fmt.Printf("  %s → %s\n", names[a[0]], names[a[1]])
+		}
+		// Validate end-to-end through the schema layer when the spec is
+		// one-class-per-segment shaped.
+		if part, err := tryBuildPartition(names, specs); err == nil {
+			fmt.Println("\nvalidated partition:")
+			fmt.Print(part)
+		}
+		return
+	}
+
+	fmt.Println("\nresult: NOT a transitive semi-tree")
+	legalNames, classes, merging, err := decompose.ProposePartition(names, specs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hddcheck: legalization failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("proposed legalization (%d → %d segments):\n", len(names), merging.NumGroups)
+	for g, members := range merging.GroupMembers() {
+		var ms []string
+		for _, m := range members {
+			ms = append(ms, names[m])
+		}
+		fmt.Printf("  group %d: %s\n", g, strings.Join(ms, " + "))
+	}
+	if part, err := schema.NewPartition(legalNames, classes); err == nil {
+		fmt.Println("\nlegalized partition:")
+		fmt.Print(part)
+	} else {
+		fmt.Fprintf(os.Stderr, "hddcheck: internal error: proposed partition invalid: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseSpec reads the line-oriented spec format.
+func parseSpec(r io.Reader) ([]string, []decompose.AccessSpec, error) {
+	var names []string
+	var specs []decompose.AccessSpec
+	index := map[string]int{}
+	resolve := func(tok string) (int, error) {
+		if i, ok := index[tok]; ok {
+			return i, nil
+		}
+		if i, err := strconv.Atoi(tok); err == nil && i >= 0 && i < len(names) {
+			return i, nil
+		}
+		return 0, fmt.Errorf("unknown segment %q", tok)
+	}
+	resolveList := func(tok string) ([]int, error) {
+		var out []int
+		for _, part := range strings.Split(tok, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			i, err := resolve(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, i)
+		}
+		return out, nil
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "segment":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("line %d: want 'segment <name>'", lineNo)
+			}
+			if _, dup := index[fields[1]]; dup {
+				return nil, nil, fmt.Errorf("line %d: duplicate segment %q", lineNo, fields[1])
+			}
+			index[fields[1]] = len(names)
+			names = append(names, fields[1])
+		case "class":
+			// class <name> writes <segs> [reads <segs>]
+			if len(fields) < 4 || fields[2] != "writes" {
+				return nil, nil, fmt.Errorf("line %d: want 'class <name> writes <segs> [reads <segs>]'", lineNo)
+			}
+			writes, err := resolveList(fields[3])
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			spec := decompose.AccessSpec{Name: fields[1], Writes: writes}
+			if len(fields) >= 6 && fields[4] == "reads" {
+				reads, err := resolveList(fields[5])
+				if err != nil {
+					return nil, nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				spec.Reads = reads
+			} else if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("line %d: trailing tokens", lineNo)
+			}
+			specs = append(specs, spec)
+		default:
+			return nil, nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no segments declared")
+	}
+	return names, specs, nil
+}
+
+// tryBuildPartition validates through the schema layer when the spec
+// declares exactly one writing class per segment.
+func tryBuildPartition(names []string, specs []decompose.AccessSpec) (*schema.Partition, error) {
+	classes := make([]schema.ClassSpec, len(names))
+	seen := make([]bool, len(names))
+	for i := range classes {
+		classes[i] = schema.ClassSpec{Name: "(no writer)", Writes: schema.SegmentID(i)}
+	}
+	for _, sp := range specs {
+		if len(sp.Writes) != 1 {
+			return nil, fmt.Errorf("type %q writes %d segments", sp.Name, len(sp.Writes))
+		}
+		w := sp.Writes[0]
+		var reads []schema.SegmentID
+		for _, r := range sp.Reads {
+			reads = append(reads, schema.SegmentID(r))
+		}
+		if seen[w] {
+			// Merge multiple types rooted in one segment.
+			classes[w].Name += "+" + sp.Name
+			classes[w].Reads = append(classes[w].Reads, reads...)
+		} else {
+			classes[w] = schema.ClassSpec{Name: sp.Name, Writes: schema.SegmentID(w), Reads: reads}
+			seen[w] = true
+		}
+	}
+	return schema.NewPartition(names, classes)
+}

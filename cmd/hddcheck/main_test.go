@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDemo(t *testing.T) {
+	names, specs, err := parseSpec(strings.NewReader(demoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 || len(specs) != 4 {
+		t.Fatalf("parsed %d segments, %d types", len(names), len(specs))
+	}
+	if specs[2].Name != "type-3" || len(specs[2].Reads) != 2 {
+		t.Fatalf("type-3 spec = %+v", specs[2])
+	}
+}
+
+func TestParseSpecIndices(t *testing.T) {
+	in := `
+segment a
+segment b
+class w writes 1 reads 0
+`
+	names, specs, err := parseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || specs[0].Writes[0] != 1 || specs[0].Reads[0] != 0 {
+		t.Fatalf("parsed %v %+v", names, specs)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no segments
+		"segment a\nsegment a\n",            // duplicate
+		"segment a\nclass x writes bogus\n", // unknown segment
+		"segment a\nclass x\n",              // malformed class
+		"segment a\nclass x writes a extra\n",
+		"bogus directive\n",
+		"segment a\nclass x writes a reads nope\n",
+	}
+	for i, in := range cases {
+		if _, _, err := parseSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestParseSpecCommentsAndBlank(t *testing.T) {
+	in := `
+# comment
+segment a
+
+class x writes a
+`
+	names, specs, err := parseSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || len(specs) != 1 {
+		t.Fatal("comments mishandled")
+	}
+}
+
+func TestTryBuildPartitionMergesSameRoot(t *testing.T) {
+	names, specs, err := parseSpec(strings.NewReader(`
+segment events
+segment summary
+class t1 writes events
+class t1b writes events
+class t2 writes summary reads events
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := tryBuildPartition(names, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumClasses() != 2 {
+		t.Fatalf("classes = %d", part.NumClasses())
+	}
+	if !strings.Contains(part.Class(0).Name, "t1b") {
+		t.Fatalf("merged class name = %q", part.Class(0).Name)
+	}
+}

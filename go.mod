@@ -1,0 +1,3 @@
+module hdd
+
+go 1.22

@@ -1,0 +1,148 @@
+package hdd_test
+
+import (
+	"testing"
+
+	"hdd"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: partition
+// validation, engine construction, update and read-only transactions,
+// schedule recording and serializability checking.
+func TestFacadeEndToEnd(t *testing.T) {
+	part, err := hdd.NewPartition(
+		[]string{"events", "summary"},
+		[]hdd.ClassSpec{
+			{Name: "record", Writes: 0},
+			{Name: "summarize", Writes: 1, Reads: []hdd.SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := hdd.NewRecorder()
+	eng, err := hdd.NewEngine(hdd.Config{Partition: part, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ev := hdd.GranuleID{Segment: 0, Key: 1}
+	sum := hdd.GranuleID{Segment: 1, Key: 1}
+
+	t1, err := eng.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(ev, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t2, err := eng.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := t2.Read(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "x" {
+		t.Fatalf("read %q", v)
+	}
+	if err := t2.Write(sum, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Walls().Force()
+	ro, err := eng.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ro.Read(sum); err != nil || string(v) != "x" {
+		t.Fatalf("read-only read %q %v", v, err)
+	}
+	if ro.Class() != hdd.NoClass {
+		t.Fatal("read-only class should be NoClass")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.Commits != 3 || st.ReadRegistrations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g := rec.Build(); !g.Serializable() {
+		t.Fatal("not serializable")
+	}
+}
+
+func TestFacadeRejectsIllegalPartition(t *testing.T) {
+	_, err := hdd.NewPartition(
+		[]string{"a", "b"},
+		[]hdd.ClassSpec{
+			{Name: "c0", Writes: 0, Reads: []hdd.SegmentID{1}},
+			{Name: "c1", Writes: 1, Reads: []hdd.SegmentID{0}},
+		})
+	if err == nil {
+		t.Fatal("cyclic DHG accepted")
+	}
+}
+
+func TestFacadeTracingRecorder(t *testing.T) {
+	part, err := hdd.NewPartition(
+		[]string{"a"},
+		[]hdd.ClassSpec{{Name: "c", Writes: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := hdd.NewTracingRecorder(0)
+	eng, err := hdd.NewEngine(hdd.Config{Partition: part, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := eng.Begin(0)
+	_ = tx.Write(hdd.GranuleID{Segment: 0, Key: 1}, []byte("x"))
+	_ = tx.Commit()
+	if len(rec.Events()) < 3 {
+		t.Fatalf("trace too short: %v", rec.Events())
+	}
+	if rec.DumpCycle() != "" {
+		t.Fatal("cycle reported on serializable schedule")
+	}
+	if !rec.Build().Serializable() {
+		t.Fatal("graph lost through facade")
+	}
+}
+
+func TestFacadeIsAbort(t *testing.T) {
+	part, err := hdd.NewPartition(
+		[]string{"only"},
+		[]hdd.ClassSpec{{Name: "c", Writes: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hdd.NewEngine(hdd.Config{Partition: part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hdd.GranuleID{Segment: 0, Key: 1}
+	older, _ := eng.Begin(0)
+	younger, _ := eng.Begin(0)
+	if _, err := younger.Read(g); err != nil {
+		t.Fatal(err)
+	}
+	err = older.Write(g, []byte("late"))
+	if !hdd.IsAbort(err) {
+		t.Fatalf("err = %v, want abort", err)
+	}
+	if hdd.IsAbort(nil) {
+		t.Fatal("IsAbort(nil)")
+	}
+	_ = younger.Commit()
+}

@@ -1,0 +1,368 @@
+// Package activity maintains the per-class transaction activity history
+// that the activity-link machinery of Hsu (1982) §4.1 and §5.1 queries:
+//
+//	I_old_i(m)  — initiation time of the oldest transaction of class T_i
+//	              active at instant m, or m if none was active;
+//	C_late_i(m) — latest commit time over transactions of T_i initiated at
+//	              or before m that were active at m, or m if none;
+//
+// together with the §5.1 computability test for C_late and history pruning
+// so that long-running systems keep the tables bounded.
+//
+// Both functions are evaluated at *past* instants (the A/B/E recursions
+// re-enter them with earlier arguments), so each class keeps an ordered log
+// of (initiation, completion) intervals rather than just a current set.
+package activity
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hdd/internal/vclock"
+)
+
+// record is one transaction's activity interval in a class.
+type record struct {
+	init vclock.Time // I(t)
+	done vclock.Time // C(t), or vclock.Infinity while active
+	// aborted transactions keep done = abort time; for the activity
+	// functions an abort resolves activity exactly like a commit (the
+	// transaction is no longer active and produced no visible versions).
+	aborted bool
+}
+
+// Table tracks the activity of one transaction class. It is safe for
+// concurrent use.
+type Table struct {
+	mu sync.Mutex
+	// recs is ordered by init (initiation times are issued by a global
+	// logical clock, so insertion order is initiation order).
+	recs []record
+	// byInit finds a record index by initiation time for completion.
+	byInit map[vclock.Time]int
+	// pruned counts records dropped from the front of recs.
+	pruned int
+	// minActiveIdx lower-bounds the search: every record before it is
+	// resolved. Index into the logical (unpruned) sequence.
+	waiters []chan struct{}
+}
+
+// NewTable returns an empty activity table.
+func NewTable() *Table {
+	return &Table{byInit: make(map[vclock.Time]int)}
+}
+
+// Begin records the initiation of a transaction at instant init.
+// Initiations must be recorded in increasing init order (the engine ticks a
+// global clock under a lock, so this holds by construction). Begin panics
+// on out-of-order initiation, which would silently corrupt every later
+// I_old answer.
+func (t *Table) Begin(init vclock.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.recs); n > 0 && t.recs[n-1].init >= init {
+		panic(fmt.Sprintf("activity: out-of-order initiation %d after %d", init, t.recs[n-1].init))
+	}
+	t.byInit[init] = t.pruned + len(t.recs)
+	t.recs = append(t.recs, record{init: init, done: vclock.Infinity})
+}
+
+// Commit records that the transaction initiated at init committed at done.
+func (t *Table) Commit(init, done vclock.Time) { t.finish(init, done, false) }
+
+// Abort records that the transaction initiated at init aborted at done. For
+// I_old/C_late an abort resolves activity the same way a commit does.
+func (t *Table) Abort(init, done vclock.Time) { t.finish(init, done, true) }
+
+func (t *Table) finish(init, done vclock.Time, aborted bool) {
+	t.mu.Lock()
+	idx, ok := t.byInit[init]
+	if !ok {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("activity: finish of unknown transaction with init %d", init))
+	}
+	i := idx - t.pruned
+	if i < 0 || i >= len(t.recs) {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("activity: finish of pruned transaction with init %d", init))
+	}
+	if done <= init {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("activity: completion %d not after initiation %d", done, init))
+	}
+	t.recs[i].done = done
+	t.recs[i].aborted = aborted
+	delete(t.byInit, init)
+	waiters := t.waiters
+	t.waiters = nil
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// IOld evaluates I_old(m): the initiation time of the oldest transaction of
+// this class active at instant m, or m itself if none was active. A
+// transaction is active at m iff I(t) < m and C(t) > m (§4.1).
+func (t *Table) IOld(m vclock.Time) vclock.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Records are ordered by init; scan those with init < m for the first
+	// still active at m. Binary search bounds the scan on the right.
+	hi := sort.Search(len(t.recs), func(i int) bool { return t.recs[i].init >= m })
+	for i := 0; i < hi; i++ {
+		if t.recs[i].done > m {
+			return t.recs[i].init
+		}
+	}
+	return m
+}
+
+// CLate evaluates C_late(m): the latest completion time over transactions
+// initiated at or before m and active at m, or m if there were none. The
+// result is only meaningful when Computable(m) holds; CLate panics
+// otherwise, because answering with Infinity would silently violate
+// Properties 2.1/2.2.
+func (t *Table) CLate(m vclock.Time) vclock.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.cLateLocked(m)
+	if !ok {
+		panic(fmt.Sprintf("activity: C_late(%d) not computable: a transaction initiated ≤ %d is still active", m, m))
+	}
+	return v
+}
+
+func (t *Table) cLateLocked(m vclock.Time) (vclock.Time, bool) {
+	hi := sort.Search(len(t.recs), func(i int) bool { return t.recs[i].init >= m })
+	latest := m
+	for i := 0; i < hi; i++ {
+		r := t.recs[i]
+		if r.done == vclock.Infinity {
+			return 0, false
+		}
+		if r.done > m && r.done > latest {
+			latest = r.done
+		}
+	}
+	return latest, true
+}
+
+// Computable reports whether C_late(m) is computable now: no transaction
+// initiated at or before m is still active (§5.1).
+func (t *Table) Computable(m vclock.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.cLateLocked(m)
+	return ok
+}
+
+// TryCLate evaluates C_late(m) if computable, reporting ok = false
+// otherwise.
+func (t *Table) TryCLate(m vclock.Time) (vclock.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cLateLocked(m)
+}
+
+// AwaitComputable returns a channel that is closed when the set of active
+// transactions next shrinks, along with the current computability of
+// C_late(m). Callers loop: if ok, compute; otherwise wait on the channel.
+func (t *Table) AwaitComputable(m vclock.Time) (ok bool, wakeup <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.cLateLocked(m); ok {
+		return true, nil
+	}
+	w := make(chan struct{})
+	t.waiters = append(t.waiters, w)
+	return false, w
+}
+
+// OldestActive returns the initiation time of the oldest currently active
+// transaction and true, or 0 and false if the class is quiescent.
+func (t *Table) OldestActive() (vclock.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.recs {
+		if r.done == vclock.Infinity {
+			return r.init, true
+		}
+	}
+	return 0, false
+}
+
+// ActiveCount returns the number of currently active transactions.
+func (t *Table) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byInit)
+}
+
+// Len returns the number of retained records (after pruning).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// PruneBefore drops records that can no longer influence any activity
+// query: records whose completion time is below the watermark. Records of
+// active transactions are always retained. The watermark must be chosen by
+// the caller so that no future IOld/CLate argument precedes it (the engine
+// uses the minimum of all active initiation times and the last released
+// time wall).
+func (t *Table) PruneBefore(watermark vclock.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cut := 0
+	for cut < len(t.recs) && t.recs[cut].done < watermark {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	t.recs = append([]record(nil), t.recs[cut:]...)
+	t.pruned += cut
+	// byInit only holds active records, all of which survive pruning;
+	// their stored absolute indices remain valid because pruned offsets
+	// them.
+	return cut
+}
+
+// Snapshot returns the retained (init, done) pairs, for tests and
+// diagnostics. Aborted transactions are included; active ones report
+// done == vclock.Infinity.
+func (t *Table) Snapshot() [][2]vclock.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([][2]vclock.Time, len(t.recs))
+	for i, r := range t.recs {
+		out[i] = [2]vclock.Time{r.init, r.done}
+	}
+	return out
+}
+
+// Set groups one Table per transaction class.
+//
+// Set also owns the *begin barrier*: the engines must guarantee that every
+// transaction whose initiation tick precedes an instant m is registered in
+// its class table before m is issued — otherwise I_old(m), evaluated once
+// before and once after the late registration lands, can *shrink*, and a
+// Protocol A reader would see a value (e.g. an event counter) whose
+// provenance (the event records) its second read can no longer reach.
+// BeginTxn and TickBarrier make tick-and-register / tick-and-observe
+// atomic across all classes.
+type Set struct {
+	beginMu sync.Mutex
+	tables  []*Table
+}
+
+// NewSet returns a Set with n class tables.
+func NewSet(n int) *Set {
+	s := &Set{tables: make([]*Table, n)}
+	for i := range s.tables {
+		s.tables[i] = NewTable()
+	}
+	return s
+}
+
+// Class returns the table for class i.
+func (s *Set) Class(i int) *Table { return s.tables[i] }
+
+// BeginTxn atomically draws an initiation instant from the clock and
+// registers it in class's table, under the global begin barrier. Every
+// instant later drawn through BeginTxn or TickBarrier is guaranteed to
+// observe this registration.
+func (s *Set) BeginTxn(class int, clock *vclock.Clock) vclock.Time {
+	s.beginMu.Lock()
+	init := clock.Tick()
+	s.tables[class].Begin(init)
+	s.beginMu.Unlock()
+	return init
+}
+
+// TickBarrier draws an instant m such that every transaction with an
+// initiation tick below m is already registered — the safe argument for
+// I_old / activity-link evaluations and wall scheduling.
+func (s *Set) TickBarrier(clock *vclock.Clock) vclock.Time {
+	s.beginMu.Lock()
+	m := clock.Tick()
+	s.beginMu.Unlock()
+	return m
+}
+
+// FinishTxn atomically draws a completion instant and records the
+// transaction as committed (aborted=false) or aborted (aborted=true),
+// under the same barrier as BeginTxn. The atomicity matters as much here
+// as at begin: if the completion tick were drawn before the record lands,
+// an I_old(m) evaluation in the gap would classify the transaction as
+// active-at-m (its done still Infinity) while later evaluations of the
+// same instant see it resolved — thresholds would no longer be monotone
+// across transactions, which is exactly the consistency the correctness
+// proofs lean on (Property 0.2). With the barrier, any record an
+// evaluator sees as unresolved is guaranteed a completion tick larger
+// than every instant drawn so far, so the classification never flips.
+func (s *Set) FinishTxn(class int, init vclock.Time, clock *vclock.Clock, aborted bool) vclock.Time {
+	s.beginMu.Lock()
+	done := clock.Tick()
+	if aborted {
+		s.tables[class].Abort(init, done)
+	} else {
+		s.tables[class].Commit(init, done)
+	}
+	s.beginMu.Unlock()
+	return done
+}
+
+// Len returns the number of classes.
+func (s *Set) Len() int { return len(s.tables) }
+
+// GlobalWatermark returns the minimum initiation time over all active
+// transactions in all classes, or now if the system is quiescent. This is
+// NOT by itself a safe pruning watermark: the activity-link recursion
+// evaluates I_old at instants *returned by* I_old, which can lie below any
+// live transaction's initiation (a long-running transaction that has since
+// resolved still anchors them). Use ClosedWatermark for pruning and GC.
+func (s *Set) GlobalWatermark(now vclock.Time) vclock.Time {
+	w := now
+	for _, t := range s.tables {
+		if init, ok := t.OldestActive(); ok && init < w {
+			w = init
+		}
+	}
+	return w
+}
+
+// ClosedWatermark lowers start to a fixpoint of m ↦ min_k I_old_k(m): no
+// activity-link evaluation reachable from an instant ≥ start can produce an
+// argument below the result, because each A/E recursion step maps an
+// instant through one class's I_old (monotone) and critical paths visit
+// each class at most once. History and versions below the result are
+// unreachable and safe to prune.
+func (s *Set) ClosedWatermark(start vclock.Time) vclock.Time {
+	w := start
+	for i := 0; i <= len(s.tables); i++ {
+		next := w
+		for _, t := range s.tables {
+			if v := t.IOld(w); v < next {
+				next = v
+			}
+		}
+		if next == w {
+			break
+		}
+		w = next
+	}
+	return w
+}
+
+// PruneBefore prunes every class table.
+func (s *Set) PruneBefore(watermark vclock.Time) int {
+	total := 0
+	for _, t := range s.tables {
+		total += t.PruneBefore(watermark)
+	}
+	return total
+}

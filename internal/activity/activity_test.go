@@ -1,0 +1,359 @@
+package activity
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hdd/internal/vclock"
+)
+
+func TestIOldBasics(t *testing.T) {
+	tab := NewTable()
+	// No activity: I_old(m) = m.
+	if got := tab.IOld(10); got != 10 {
+		t.Fatalf("IOld(10) on empty table = %d, want 10", got)
+	}
+	tab.Begin(5)
+	tab.Begin(8)
+	// Both active: at m=9 the oldest active is 5.
+	if got := tab.IOld(9); got != 5 {
+		t.Fatalf("IOld(9) = %d, want 5", got)
+	}
+	// At m=6, only txn 5 had initiated.
+	if got := tab.IOld(6); got != 5 {
+		t.Fatalf("IOld(6) = %d, want 5", got)
+	}
+	// At m=5 the txn initiated at 5 is not yet active (I(t) < m strict).
+	if got := tab.IOld(5); got != 5 {
+		t.Fatalf("IOld(5) = %d, want 5", got)
+	}
+	tab.Commit(5, 12)
+	// Historical query: at m=9 txn 5 was still active.
+	if got := tab.IOld(9); got != 5 {
+		t.Fatalf("IOld(9) after commit = %d, want 5 (history)", got)
+	}
+	// At m=13 only txn 8 is active.
+	if got := tab.IOld(13); got != 8 {
+		t.Fatalf("IOld(13) = %d, want 8", got)
+	}
+	tab.Commit(8, 14)
+	if got := tab.IOld(20); got != 20 {
+		t.Fatalf("IOld(20) = %d, want 20 (quiescent)", got)
+	}
+}
+
+func TestIOldMonotone(t *testing.T) {
+	// Property 0.2 of the paper's proofs: I_old is monotone nondecreasing.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		tab := NewTable()
+		now := vclock.Time(0)
+		var active []vclock.Time
+		for i := 0; i < 50; i++ {
+			now++
+			if len(active) > 0 && r.Intn(2) == 0 {
+				k := r.Intn(len(active))
+				tab.Commit(active[k], now)
+				active = append(active[:k], active[k+1:]...)
+			} else {
+				tab.Begin(now)
+				active = append(active, now)
+			}
+		}
+		for _, init := range active {
+			now++
+			tab.Commit(init, now)
+		}
+		prev := vclock.Time(-1 << 62)
+		for m := vclock.Time(1); m <= now+5; m++ {
+			v := tab.IOld(m)
+			if v < prev {
+				t.Fatalf("trial %d: IOld not monotone: IOld(%d)=%d after %d", trial, m, v, prev)
+			}
+			if v > m {
+				t.Fatalf("IOld(%d)=%d exceeds its argument", m, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestCLate(t *testing.T) {
+	tab := NewTable()
+	if got := tab.CLate(10); got != 10 {
+		t.Fatalf("CLate(10) empty = %d, want 10", got)
+	}
+	tab.Begin(5)
+	tab.Begin(8)
+	if tab.Computable(9) {
+		t.Fatal("CLate(9) should not be computable with txns 5, 8 active")
+	}
+	tab.Commit(5, 12)
+	if tab.Computable(9) {
+		t.Fatal("CLate(9) still blocked by txn 8")
+	}
+	tab.Commit(8, 15)
+	if !tab.Computable(9) {
+		t.Fatal("CLate(9) should be computable now")
+	}
+	// Txns active at 9: 5 (committed 12) and 8 (committed 15) → max 15.
+	if got := tab.CLate(9); got != 15 {
+		t.Fatalf("CLate(9) = %d, want 15", got)
+	}
+	// At m=14, txn 5 already finished (12 < 14... active at 14 means
+	// done > 14): only txn 8 counts → 15.
+	if got := tab.CLate(14); got != 15 {
+		t.Fatalf("CLate(14) = %d, want 15", got)
+	}
+	// At m=20 nothing was active → 20.
+	if got := tab.CLate(20); got != 20 {
+		t.Fatalf("CLate(20) = %d, want 20", got)
+	}
+}
+
+func TestCLateNotComputablePanics(t *testing.T) {
+	tab := NewTable()
+	tab.Begin(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.CLate(9)
+}
+
+func TestCLateGEArgument(t *testing.T) {
+	// C_late(m) ≥ m always (it is m, or a commit time > m).
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		tab := NewTable()
+		now := vclock.Time(0)
+		var active []vclock.Time
+		for i := 0; i < 40; i++ {
+			now++
+			if len(active) > 0 && r.Intn(2) == 0 {
+				k := r.Intn(len(active))
+				tab.Commit(active[k], now)
+				active = append(active[:k], active[k+1:]...)
+			} else {
+				tab.Begin(now)
+				active = append(active, now)
+			}
+		}
+		for _, init := range active {
+			now++
+			tab.Commit(init, now)
+		}
+		for m := vclock.Time(1); m <= now; m++ {
+			if got := tab.CLate(m); got < m {
+				t.Fatalf("CLate(%d) = %d < m", m, got)
+			}
+		}
+	}
+}
+
+func TestIOldAfterCLateSameClass(t *testing.T) {
+	// The pairing lemma behind Property 2.1: I_old(C_late(m)) ≥ m.
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		tab := NewTable()
+		now := vclock.Time(0)
+		var active []vclock.Time
+		for i := 0; i < 60; i++ {
+			now++
+			if len(active) > 0 && r.Intn(2) == 0 {
+				k := r.Intn(len(active))
+				tab.Commit(active[k], now)
+				active = append(active[:k], active[k+1:]...)
+			} else {
+				tab.Begin(now)
+				active = append(active, now)
+			}
+		}
+		for _, init := range active {
+			now++
+			tab.Commit(init, now)
+		}
+		for m := vclock.Time(1); m <= now; m++ {
+			if got := tab.IOld(tab.CLate(m)); got < m {
+				t.Fatalf("trial %d: IOld(CLate(%d)) = %d < m", trial, m, got)
+			}
+			// And the ε-version behind Property 2.2.
+			if cl := tab.CLate(m); cl > 0 {
+				if got := tab.IOld(cl - 1); got >= m && cl-1 < m {
+					// IOld(x) ≤ x < m is fine; only a contradiction if
+					// IOld returns ≥ m while evaluating below m.
+					t.Fatalf("IOld(%d) = %d ≥ m=%d", cl-1, got, m)
+				}
+			}
+		}
+	}
+}
+
+func TestAbortResolvesActivity(t *testing.T) {
+	tab := NewTable()
+	tab.Begin(5)
+	tab.Abort(5, 9)
+	if got := tab.IOld(7); got != 5 {
+		t.Fatalf("IOld(7) = %d, want 5 (was active at 7)", got)
+	}
+	if got := tab.IOld(10); got != 10 {
+		t.Fatalf("IOld(10) = %d, want 10 (aborted txn resolved)", got)
+	}
+	if !tab.Computable(8) {
+		t.Fatal("abort should make CLate computable")
+	}
+}
+
+func TestBeginOutOfOrderPanics(t *testing.T) {
+	tab := NewTable()
+	tab.Begin(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.Begin(3)
+}
+
+func TestFinishUnknownPanics(t *testing.T) {
+	tab := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.Commit(7, 9)
+}
+
+func TestOldestActiveAndCount(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.OldestActive(); ok {
+		t.Fatal("empty table has no oldest active")
+	}
+	tab.Begin(3)
+	tab.Begin(7)
+	if init, ok := tab.OldestActive(); !ok || init != 3 {
+		t.Fatalf("OldestActive = %d,%v want 3,true", init, ok)
+	}
+	if tab.ActiveCount() != 2 {
+		t.Fatalf("ActiveCount = %d", tab.ActiveCount())
+	}
+	tab.Commit(3, 8)
+	if init, ok := tab.OldestActive(); !ok || init != 7 {
+		t.Fatalf("OldestActive = %d,%v want 7,true", init, ok)
+	}
+}
+
+func TestAwaitComputable(t *testing.T) {
+	tab := NewTable()
+	tab.Begin(5)
+	ok, wakeup := tab.AwaitComputable(9)
+	if ok {
+		t.Fatal("should not be computable")
+	}
+	done := make(chan struct{})
+	go func() {
+		<-wakeup
+		close(done)
+	}()
+	tab.Commit(5, 11)
+	<-done
+	if ok, _ := tab.AwaitComputable(9); !ok {
+		t.Fatal("should be computable after commit")
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	tab := NewTable()
+	for i := vclock.Time(1); i <= 10; i++ {
+		tab.Begin(i * 10)
+		tab.Commit(i*10, i*10+5)
+	}
+	tab.Begin(200)
+	// Prune below 60: records with done < 60 go (commits at 15,25,35,45,55).
+	n := tab.PruneBefore(60)
+	if n != 5 {
+		t.Fatalf("pruned %d, want 5", n)
+	}
+	if tab.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tab.Len())
+	}
+	// Queries at or above the watermark still work: at 63 the txn
+	// initiated at 60 (commits 65) is active; at 66 only txn 200 remains.
+	if got := tab.IOld(63); got != 60 {
+		t.Fatalf("IOld(63) = %d, want 60", got)
+	}
+	if got := tab.IOld(66); got != 66 {
+		t.Fatalf("IOld(66) = %d, want 66", got)
+	}
+	if got := tab.IOld(201); got != 200 {
+		t.Fatalf("IOld(201) = %d, want 200", got)
+	}
+	// Finishing the active txn after pruning must not panic.
+	tab.Commit(200, 300)
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Class(0).Begin(4)
+	s.Class(2).Begin(6)
+	if w := s.GlobalWatermark(100); w != 4 {
+		t.Fatalf("GlobalWatermark = %d, want 4", w)
+	}
+	s.Class(0).Commit(4, 10)
+	if w := s.GlobalWatermark(100); w != 6 {
+		t.Fatalf("GlobalWatermark = %d, want 6", w)
+	}
+	s.Class(2).Commit(6, 12)
+	if w := s.GlobalWatermark(100); w != 100 {
+		t.Fatalf("GlobalWatermark = %d, want 100 (quiescent)", w)
+	}
+	if n := s.PruneBefore(100); n != 2 {
+		t.Fatalf("PruneBefore = %d, want 2", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tab := NewTable()
+	clock := vclock.NewClock()
+	var beginMu sync.Mutex
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				beginMu.Lock()
+				init := clock.Tick()
+				tab.Begin(init)
+				beginMu.Unlock()
+				tab.IOld(init)
+				tab.Commit(init, clock.Tick())
+			}
+		}()
+	}
+	wg.Wait()
+	if tab.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d after drain", tab.ActiveCount())
+	}
+	if got := tab.IOld(clock.Now() + 1); got != clock.Now()+1 {
+		t.Fatalf("IOld on quiescent table = %d", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tab := NewTable()
+	tab.Begin(3)
+	tab.Begin(5)
+	tab.Commit(3, 7)
+	snap := tab.Snapshot()
+	if len(snap) != 2 || snap[0] != [2]vclock.Time{3, 7} || snap[1][1] != vclock.Infinity {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}

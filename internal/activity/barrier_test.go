@@ -1,0 +1,118 @@
+package activity
+
+import (
+	"sync"
+	"testing"
+
+	"hdd/internal/vclock"
+)
+
+func TestBeginTxnOrdersAcrossClasses(t *testing.T) {
+	s := NewSet(3)
+	clock := vclock.NewClock()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				init := s.BeginTxn(w%3, clock)
+				s.FinishTxn(w%3, init, clock, i%5 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No panic means per-class initiation order held; verify tables drained.
+	for c := 0; c < 3; c++ {
+		if s.Class(c).ActiveCount() != 0 {
+			t.Fatalf("class %d still active", c)
+		}
+	}
+}
+
+// TestBarrierVisibility: any instant drawn through TickBarrier observes all
+// smaller-tick begins and finishes.
+func TestBarrierVisibility(t *testing.T) {
+	s := NewSet(2)
+	clock := vclock.NewClock()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			init := s.BeginTxn(0, clock)
+			s.FinishTxn(0, init, clock, false)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		m := s.TickBarrier(clock)
+		// Every class-0 txn with init < m is registered; IOld(m) must
+		// therefore never exceed m, and evaluating it twice must agree.
+		v1 := s.Class(0).IOld(m)
+		v2 := s.Class(0).IOld(m)
+		if v1 != v2 {
+			t.Fatalf("IOld(%d) unstable: %d then %d", m, v1, v2)
+		}
+		if v1 > m {
+			t.Fatalf("IOld(%d) = %d > m", m, v1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFinishTxnStableClassification: a transaction an evaluator saw as
+// unresolved always gets a completion tick above the evaluated instant, so
+// its active-at-m classification never flips.
+func TestFinishTxnStableClassification(t *testing.T) {
+	s := NewSet(1)
+	clock := vclock.NewClock()
+	for round := 0; round < 2000; round++ {
+		init := s.BeginTxn(0, clock)
+		m := s.TickBarrier(clock)
+		before := s.Class(0).IOld(m)
+		done := s.FinishTxn(0, init, clock, false)
+		if done <= m {
+			t.Fatalf("completion tick %d not above barrier %d", done, m)
+		}
+		after := s.Class(0).IOld(m)
+		if before != after {
+			t.Fatalf("classification at %d flipped: %d then %d", m, before, after)
+		}
+	}
+}
+
+func TestClosedWatermark(t *testing.T) {
+	s := NewSet(2)
+	// Class 0: long interval [10, 500]. Class 1: interval [300, 400].
+	s.Class(0).Begin(10)
+	s.Class(1).Begin(300)
+	s.Class(1).Commit(300, 400)
+	s.Class(0).Commit(10, 500)
+
+	// Starting at 350: class-0's [10,500] covers 350 → descends to 10.
+	if got := s.ClosedWatermark(350); got != 10 {
+		t.Fatalf("ClosedWatermark(350) = %d, want 10", got)
+	}
+	// Starting at 600: nothing active at 600 → stays.
+	if got := s.ClosedWatermark(600); got != 600 {
+		t.Fatalf("ClosedWatermark(600) = %d, want 600", got)
+	}
+	// Chained overlap: class-1 [5, 320] would pull 350 → 300 → ... add it.
+	s2 := NewSet(2)
+	s2.Class(0).Begin(5)
+	s2.Class(1).Begin(200)
+	s2.Class(0).Commit(5, 320)
+	s2.Class(1).Commit(200, 400)
+	// 350: class-1 active at 350 (init 200) → 200; class-0 active at 200
+	// (init 5) → 5; nothing below 5 → 5.
+	if got := s2.ClosedWatermark(350); got != 5 {
+		t.Fatalf("chained ClosedWatermark(350) = %d, want 5", got)
+	}
+}

@@ -1,0 +1,130 @@
+package activity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hdd/internal/vclock"
+)
+
+// history is a quick-generated resolved transaction history.
+type history struct {
+	// intervals are (init, done) pairs with init < done, inits unique and
+	// increasing.
+	intervals [][2]vclock.Time
+}
+
+// Generate implements quick.Generator.
+func (history) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*2 + 1)
+	h := history{intervals: make([][2]vclock.Time, n)}
+	t := vclock.Time(0)
+	for i := range h.intervals {
+		t += vclock.Time(1 + r.Intn(5))
+		init := t
+		done := init + vclock.Time(1+r.Intn(40))
+		h.intervals[i] = [2]vclock.Time{init, done}
+	}
+	return reflect.ValueOf(h)
+}
+
+func (h history) table() (*Table, vclock.Time) {
+	tab := NewTable()
+	var maxDone vclock.Time
+	for _, iv := range h.intervals {
+		tab.Begin(iv[0])
+	}
+	for _, iv := range h.intervals {
+		tab.Commit(iv[0], iv[1])
+		if iv[1] > maxDone {
+			maxDone = iv[1]
+		}
+	}
+	return tab, maxDone
+}
+
+// model answers I_old(m) directly from the interval list.
+func (h history) iOld(m vclock.Time) vclock.Time {
+	for _, iv := range h.intervals { // intervals sorted by init
+		if iv[0] < m && iv[1] > m {
+			return iv[0]
+		}
+	}
+	return m
+}
+
+// model answers C_late(m) directly.
+func (h history) cLate(m vclock.Time) vclock.Time {
+	latest := m
+	for _, iv := range h.intervals {
+		if iv[0] < m && iv[1] > m && iv[1] > latest {
+			latest = iv[1]
+		}
+	}
+	return latest
+}
+
+// TestQuickIOldMatchesModel cross-checks the table implementation against
+// the brute-force definition at every instant.
+func TestQuickIOldMatchesModel(t *testing.T) {
+	f := func(h history) bool {
+		tab, maxDone := h.table()
+		for m := vclock.Time(1); m <= maxDone+3; m++ {
+			if tab.IOld(m) != h.iOld(m) {
+				return false
+			}
+			if got := tab.CLate(m); got != h.cLate(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIOldBounds: I_old(m) ≤ m always, and C_late(m) ≥ m always —
+// the directional facts the A/B function proofs lean on.
+func TestQuickIOldBounds(t *testing.T) {
+	f := func(h history) bool {
+		tab, maxDone := h.table()
+		for m := vclock.Time(1); m <= maxDone+3; m += 2 {
+			if tab.IOld(m) > m {
+				return false
+			}
+			if tab.CLate(m) < m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPruneTransparent: pruning below any watermark w never changes
+// IOld/CLate answers for arguments ≥ w.
+func TestQuickPruneTransparent(t *testing.T) {
+	f := func(h history, wRaw uint8) bool {
+		tab, maxDone := h.table()
+		w := vclock.Time(wRaw)
+		ref, _ := h.table()
+		tab.PruneBefore(w)
+		for m := w; m <= maxDone+3; m++ {
+			if tab.IOld(m) != ref.IOld(m) {
+				return false
+			}
+			if tab.CLate(m) != ref.CLate(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package alink implements the activity-link machinery at the heart of Hsu
+// (1982): the activity link function A (§4.1), the backward activity link
+// function B and the extended activity link function E (§5.1), the
+// "topologically follows" relation ⇒ (§4.3), and time walls with a
+// background wall manager (§5.2).
+//
+// All functions are parameterized by a validated schema.Partition (for the
+// critical-path structure of the THG) and an activity.Set (for the per-class
+// I_old / C_late histories).
+package alink
+
+import (
+	"fmt"
+
+	"hdd/internal/activity"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// Links evaluates the activity-link functions for one partition.
+type Links struct {
+	part *schema.Partition
+	act  *activity.Set
+}
+
+// New returns a Links evaluator over the given partition and activity set.
+// The activity set must have one table per class of the partition.
+func New(part *schema.Partition, act *activity.Set) *Links {
+	if act.Len() != part.NumClasses() {
+		panic(fmt.Sprintf("alink: %d activity tables for %d classes", act.Len(), part.NumClasses()))
+	}
+	return &Links{part: part, act: act}
+}
+
+// Partition returns the partition the links are evaluated over.
+func (l *Links) Partition() *schema.Partition { return l.part }
+
+// TickBarrier draws an instant from the clock under the activity set's
+// begin barrier: every transaction with a smaller initiation tick is
+// guaranteed registered, which is what makes evaluating I_old (and hence
+// A/B/E) at the returned instant stable. Wall scheduling must use this
+// rather than a bare clock tick.
+func (l *Links) TickBarrier(clock *vclock.Clock) vclock.Time {
+	return l.act.TickBarrier(clock)
+}
+
+// A evaluates the activity link function A_i^j(m) (§4.1): the composition
+// of I_old along the critical path T_i → … → T_j. It requires T_j ⇑ T_i and
+// panics otherwise — the function is undefined off the critical path, and
+// callers (Protocol A) only reach it for declared upward reads, so an
+// off-path call is a bug, not an input error.
+func (l *Links) A(i, j schema.ClassID, m vclock.Time) vclock.Time {
+	path := l.part.CriticalPath(i, j)
+	if path == nil {
+		panic(fmt.Sprintf("alink: A_%d^%d undefined: T%d is not higher than T%d", i, j, j, i))
+	}
+	// path = [i, k, ..., j]; A_i^j(m) = I_old_j(... I_old_k(I_old_? ...)).
+	// The recursion A_i^j(m) = A_k^j(A_i^k(m)) with the base case
+	// A_i^j(m) = I_old_j(m) for a critical arc unrolls to applying I_old of
+	// each successive class along the path, excluding the starting class.
+	v := m
+	for _, cls := range path[1:] {
+		v = l.act.Class(cls).IOld(v)
+	}
+	return v
+}
+
+// B evaluates the backward activity link function B_j^i(m) (§5.1): the
+// composition of C_late downward along the critical path from T_i up to
+// T_j, i.e. the conceptual inverse of A_i^j. It requires T_j ⇑ T_i. The
+// result is only meaningful when every C_late along the way is computable;
+// TryB reports computability instead of panicking.
+func (l *Links) B(i, j schema.ClassID, m vclock.Time) vclock.Time {
+	v, ok := l.TryB(i, j, m)
+	if !ok {
+		panic(fmt.Sprintf("alink: B_%d^%d(%d) not computable", j, i, m))
+	}
+	return v
+}
+
+// TryB evaluates B_j^i(m) if every C_late on the way is computable.
+//
+// With CP_i^j = T_i → … → T_k → T_j, the §5.1 recursion
+//
+//	B_j^i(m) = C_late_j(m)            if T_i → T_j is the whole path
+//	B_j^i(m) = B_k^i(B_j^k(m))        otherwise
+//
+// unrolls to applying C_late of each class on the critical path except the
+// bottom one (i), walking top-down. This pairs each C_late_k with the
+// I_old_k applied by A on the way back up, which is exactly the structure
+// the paper's proof of Property 2.1 exploits (per class k, the
+// "previous application of C_k" argument gives I_old_k(C_late_k(y)) ≥ y).
+func (l *Links) TryB(i, j schema.ClassID, m vclock.Time) (vclock.Time, bool) {
+	path := l.part.CriticalPath(i, j)
+	if path == nil {
+		panic(fmt.Sprintf("alink: B_%d^%d undefined: T%d is not higher than T%d", j, i, j, i))
+	}
+	v := m
+	for idx := len(path) - 1; idx >= 1; idx-- {
+		var ok bool
+		v, ok = l.act.Class(path[idx]).TryCLate(v)
+		if !ok {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// E evaluates the extended activity link function E_i^j(m) (§5.1) along the
+// undirected critical path UCP_i^j, applying I_old for upward critical arcs
+// and C_late for downward ones. It requires i and j to be weakly connected
+// in the THG. TryE reports computability; E panics when a required C_late
+// is not computable.
+func (l *Links) E(i, j schema.ClassID, m vclock.Time) vclock.Time {
+	v, ok := l.TryE(i, j, m)
+	if !ok {
+		panic(fmt.Sprintf("alink: E_%d^%d(%d) not computable", i, j, m))
+	}
+	return v
+}
+
+// TryE evaluates E_i^j(m), reporting false if a C_late step is not yet
+// computable.
+func (l *Links) TryE(i, j schema.ClassID, m vclock.Time) (vclock.Time, bool) {
+	if i == j {
+		return m, true
+	}
+	ucp := l.part.UCP(i, j)
+	if ucp == nil {
+		panic(fmt.Sprintf("alink: E_%d^%d undefined: classes not connected in THG", i, j))
+	}
+	// Per-step rule, derived from the direct-arc base cases of §5.1 so that
+	// E degenerates to A on an all-upward UCP and to the B chain on an
+	// all-downward one:
+	//
+	//	up-step   cur→next (critical arc cur→next): apply I_old_next
+	//	down-step cur→next (critical arc next→cur): apply C_late_cur
+	v := m
+	for idx := 0; idx+1 < len(ucp); idx++ {
+		cur, next := schema.ClassID(ucp[idx]), schema.ClassID(ucp[idx+1])
+		switch {
+		case l.part.HasCriticalArc(cur, next):
+			v = l.act.Class(int(next)).IOld(v)
+		case l.part.HasCriticalArc(next, cur):
+			var ok bool
+			v, ok = l.act.Class(int(cur)).TryCLate(v)
+			if !ok {
+				return 0, false
+			}
+		default:
+			panic(fmt.Sprintf("alink: UCP step %d-%d is not a critical arc", cur, next))
+		}
+	}
+	return v, true
+}
+
+// TopoFollows evaluates the relation t1 ⇒ t2 ("topologically follows",
+// §4.3) for transactions with initiation times i1 in class c1 and i2 in
+// class c2. The classes must lie on one critical path; TopoFollows panics
+// otherwise, matching the paper ("⇒ is defined only between transactions
+// that belong to classes that are on a critical path").
+func (l *Links) TopoFollows(c1 schema.ClassID, i1 vclock.Time, c2 schema.ClassID, i2 vclock.Time) bool {
+	switch {
+	case c1 == c2:
+		return i1 > i2
+	case l.part.Higher(c2, c1):
+		// t2's class is higher — case (3): I(t2) < A_{c1}^{c2}(I(t1)).
+		return i2 < l.A(c1, c2, i1)
+	case l.part.Higher(c1, c2):
+		// t1's class is higher — case (2): I(t1) ≥ A_{c2}^{c1}(I(t2)).
+		return i1 >= l.A(c2, c1, i2)
+	default:
+		panic(fmt.Sprintf("alink: ⇒ undefined between classes %d and %d (not on one critical path)", c1, c2))
+	}
+}
+
+// TimeWall is a released time wall TW(m,s) (§5.1–5.2): for every class i,
+// Component[i] = E_s^i(m). No transaction dependency crosses the wall from
+// the "older" side to the "newer" side (Lemma 2.1), so reading the latest
+// versions strictly below the wall yields a consistent database state
+// (Theorem 2).
+type TimeWall struct {
+	// Start is the starting class s the wall was computed from.
+	Start schema.ClassID
+	// At is the starting instant m.
+	At vclock.Time
+	// Component[i] = E_s^i(m) for class/segment i.
+	Component []vclock.Time
+	// Released is the instant the wall was released to readers.
+	Released vclock.Time
+}
+
+// Threshold returns the wall component for segment s: read-only
+// transactions read the latest version with write timestamp strictly below
+// Threshold(s).
+func (w *TimeWall) Threshold(s schema.SegmentID) vclock.Time { return w.Component[s] }
+
+// ComputeWall computes TW(m,s) eagerly, returning false if some C_late on
+// the way is not yet computable, or if some class still has an active
+// transaction initiated below its wall component.
+//
+// The second condition is an implementation-level strengthening of §5.2
+// (which only demands C_late computability): releasing a wall while a
+// transaction with initiation time below a component is still in flight
+// would let a read-only transaction read *around* that transaction's
+// pending versions — versions the wall admits — producing exactly the
+// partial-visibility dependency cycle Theorem 2 rules out. Waiting until
+// every admitted transaction has resolved keeps Protocol C reads
+// non-blocking and trace-free while making "latest version below the wall"
+// a stable set. (The paper defers implementation questions to §7.3.)
+func (l *Links) ComputeWall(s schema.ClassID, m vclock.Time) (*TimeWall, bool) {
+	n := l.part.NumClasses()
+	w := &TimeWall{Start: s, At: m, Component: make([]vclock.Time, n)}
+	for i := 0; i < n; i++ {
+		v, ok := l.TryE(s, schema.ClassID(i), m)
+		if !ok {
+			return nil, false
+		}
+		w.Component[i] = v
+	}
+	for i := 0; i < n; i++ {
+		if !l.act.Class(i).Computable(w.Component[i]) {
+			return nil, false
+		}
+	}
+	return w, true
+}
+
+// AFrom evaluates the activity-link threshold of a *fictitious* class
+// sitting immediately below base (§5, Figure 8): the composition of I_old
+// along [base, …, j] including base itself. Read-only transactions whose
+// read set lies on one critical path use this as their Protocol A
+// threshold, with base the lowest class of that path.
+func (l *Links) AFrom(base, j schema.ClassID, m vclock.Time) vclock.Time {
+	v := l.act.Class(int(base)).IOld(m)
+	if base == j {
+		return v
+	}
+	path := l.part.CriticalPath(base, j)
+	if path == nil {
+		panic(fmt.Sprintf("alink: AFrom_%d^%d undefined: T%d is not higher than T%d", base, j, j, base))
+	}
+	for _, cls := range path[1:] {
+		v = l.act.Class(cls).IOld(v)
+	}
+	return v
+}

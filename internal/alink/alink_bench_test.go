@@ -1,0 +1,66 @@
+package alink
+
+import (
+	"fmt"
+	"testing"
+
+	"hdd/internal/activity"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// benchHistory fills k class tables with n resolved transactions each.
+func benchHistory(tb testing.TB, k, n int) (*Links, vclock.Time) {
+	part := chainPartition(tb, k)
+	act := activity.NewSet(k)
+	clock := vclock.NewClock()
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			init := clock.Tick()
+			act.Class(c).Begin(init)
+			act.Class(c).Commit(init, clock.Tick())
+		}
+	}
+	return New(part, act), clock.Now()
+}
+
+func BenchmarkAEvalDepth(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("depth-%d", k), func(b *testing.B) {
+			links, now := benchHistory(b, k, 500)
+			low := schema.ClassID(links.Partition().NumClasses() - 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = links.A(low, 0, now-vclock.Time(i%100))
+			}
+		})
+	}
+}
+
+func BenchmarkEEvalDepth8(b *testing.B) {
+	links, now := benchHistory(b, 8, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := links.TryE(7, 0, now-vclock.Time(i%100)); !ok {
+			b.Fatal("not computable")
+		}
+	}
+}
+
+func BenchmarkComputeWall(b *testing.B) {
+	links, now := benchHistory(b, 6, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := links.ComputeWall(5, now-vclock.Time(i%100)); !ok {
+			b.Fatal("not computable")
+		}
+	}
+}
+
+func BenchmarkTopoFollows(b *testing.B) {
+	links, now := benchHistory(b, 4, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.TopoFollows(3, now-5, 0, now-9)
+	}
+}

@@ -1,0 +1,86 @@
+package alink
+
+import (
+	"testing"
+
+	"hdd/internal/activity"
+	"hdd/internal/vclock"
+)
+
+func TestAcquireCurrentPinsFloor(t *testing.T) {
+	part := veePartition(t)
+	act := activity.NewSet(3)
+	links := New(part, act)
+	clock := vclock.NewClock()
+	mgr := NewWallManager(links, clock, 4, 1)
+
+	w1, release1 := mgr.AcquireCurrent()
+	floor1 := wallFloor(w1)
+	if mgr.SafeFloor() > floor1 {
+		t.Fatalf("SafeFloor %d above acquired floor %d", mgr.SafeFloor(), floor1)
+	}
+
+	// Advance to a much newer wall.
+	for i := 0; i < 50; i++ {
+		init := act.BeginTxn(0, clock)
+		act.FinishTxn(0, init, clock, false)
+		mgr.Poll()
+	}
+	w2 := mgr.Current()
+	if w2.At <= w1.At {
+		t.Fatal("wall did not advance; test vacuous")
+	}
+	// The old wall's floor still pins SafeFloor.
+	if mgr.SafeFloor() > floor1 {
+		t.Fatalf("SafeFloor %d escaped pinned floor %d", mgr.SafeFloor(), floor1)
+	}
+	release1()
+	if mgr.SafeFloor() <= floor1 {
+		t.Fatalf("SafeFloor %d still at old floor after release", mgr.SafeFloor())
+	}
+	// Idempotent release: a second call must not underflow another
+	// holder's pin of the same floor value.
+	_, r2 := mgr.AcquireCurrent()
+	release1()
+	release1()
+	cur := mgr.Current()
+	if mgr.SafeFloor() > wallFloor(cur) {
+		t.Fatal("double release corrupted the floor multiset")
+	}
+	r2()
+}
+
+func TestAcquireFloorMultiset(t *testing.T) {
+	part := veePartition(t)
+	act := activity.NewSet(3)
+	links := New(part, act)
+	clock := vclock.NewClock()
+	mgr := NewWallManager(links, clock, 1000, 1)
+	// Push the current wall's own floor well above the test floors.
+	for i := 0; i < 100; i++ {
+		clock.Tick()
+	}
+	mgr.Force()
+	if wallFloor(mgr.Current()) <= 7 {
+		t.Fatal("setup: current wall floor too low")
+	}
+
+	rA := mgr.AcquireFloor(7)
+	rB := mgr.AcquireFloor(7)
+	rC := mgr.AcquireFloor(3)
+	if mgr.SafeFloor() != 3 {
+		t.Fatalf("SafeFloor = %d, want 3", mgr.SafeFloor())
+	}
+	rC()
+	if mgr.SafeFloor() != 7 {
+		t.Fatalf("SafeFloor = %d, want 7", mgr.SafeFloor())
+	}
+	rA()
+	if mgr.SafeFloor() != 7 {
+		t.Fatalf("SafeFloor = %d, want 7 (second holder)", mgr.SafeFloor())
+	}
+	rB()
+	if mgr.SafeFloor() == 7 {
+		t.Fatal("floor 7 survived all releases")
+	}
+}

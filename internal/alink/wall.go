@@ -1,0 +1,207 @@
+package alink
+
+import (
+	"runtime"
+	"sync"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// WallManager periodically computes and releases time walls as §5.2
+// prescribes: the system picks a starting class of one of the lowest levels
+// and the current time, waits until every C_late on the way is computable,
+// and then releases the wall to all read-only transactions that start
+// before the next release.
+//
+// Rather than a dedicated goroutine, the manager is advanced opportunistically:
+// the engine calls Poll after every transaction completion (the only events
+// that can make a pending wall computable) and at read-only initiation. This
+// keeps wall progress deterministic under test while matching the paper's
+// "compute at certain intervals" behaviour through the Interval parameter.
+type WallManager struct {
+	links    *Links
+	clock    *vclock.Clock
+	interval vclock.Time
+	start    schema.ClassID
+
+	mu      sync.Mutex
+	current *TimeWall
+	// pendingAt is the instant m of a wall that has been scheduled but is
+	// not yet computable; 0 means none pending.
+	pendingAt vclock.Time
+	// lastScheduled is the instant the most recent wall was scheduled at,
+	// used to pace releases by interval.
+	lastScheduled vclock.Time
+	released      int // number of walls released, for metrics
+	attempts      int // number of computability attempts, for metrics
+	// floors is a multiset of instants still referenced by in-flight
+	// readers (read-only transactions pinned to earlier walls, path
+	// read-only transactions with pinned thresholds). SafeFloor must
+	// cover them: garbage collection against only the *current* wall
+	// would prune versions and history a reader holding an older wall
+	// still needs.
+	floors map[vclock.Time]int
+}
+
+// NewWallManager creates a manager releasing walls roughly every interval
+// logical ticks, starting from the given class (normally one of the
+// partition's lowest classes). An initial wall at the current instant is
+// computed immediately; on a quiescent system every C_late is trivially
+// computable, so Current is non-nil from construction onward.
+func NewWallManager(links *Links, clock *vclock.Clock, interval vclock.Time, start schema.ClassID) *WallManager {
+	if interval < 1 {
+		interval = 1
+	}
+	m := &WallManager{links: links, clock: clock, interval: interval, start: start, floors: make(map[vclock.Time]int)}
+	m.mu.Lock()
+	m.scheduleLocked(links.TickBarrier(clock))
+	m.tryReleaseLocked()
+	m.mu.Unlock()
+	return m
+}
+
+func (m *WallManager) scheduleLocked(now vclock.Time) {
+	m.pendingAt = now
+	m.lastScheduled = now
+}
+
+func (m *WallManager) tryReleaseLocked() bool {
+	if m.pendingAt == 0 {
+		return false
+	}
+	m.attempts++
+	w, ok := m.links.ComputeWall(m.start, m.pendingAt)
+	if !ok {
+		return false
+	}
+	w.Released = m.clock.Tick()
+	m.current = w
+	m.pendingAt = 0
+	m.released++
+	return true
+}
+
+// Poll advances the manager: schedules a new wall if the release interval
+// has elapsed, and attempts to release any pending wall. It returns true if
+// a wall was released by this call.
+func (m *WallManager) Poll() bool {
+	now := m.clock.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pendingAt == 0 && now-m.lastScheduled >= m.interval {
+		// Barrier tick: every transaction initiated below the wall's
+		// instant is already registered, so the E evaluation at m is
+		// stable and the release check sees every admitted transaction.
+		m.scheduleLocked(m.links.TickBarrier(m.clock))
+	}
+	return m.tryReleaseLocked()
+}
+
+// Force schedules and releases a wall at the current instant, retrying
+// until computable as transactions drain. It blocks the caller; it is meant
+// for shutdown barriers and tests, not the transaction path.
+func (m *WallManager) Force() *TimeWall {
+	m.mu.Lock()
+	m.scheduleLocked(m.links.TickBarrier(m.clock))
+	for !m.tryReleaseLocked() {
+		// Transactions must complete for C_late to become computable.
+		// Drop the lock so they can, yield, then retry.
+		m.mu.Unlock()
+		runtime.Gosched()
+		m.mu.Lock()
+	}
+	w := m.current
+	m.mu.Unlock()
+	return w
+}
+
+// Current returns the most recently released wall. It is never nil.
+func (m *WallManager) Current() *TimeWall {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// AcquireCurrent returns the most recent wall and registers its smallest
+// component as an in-flight floor until release is called. Read-only
+// transactions acquire their wall this way so garbage collection never
+// prunes versions or activity history their (possibly superseded) wall
+// still directs them to. release is idempotent.
+func (m *WallManager) AcquireCurrent() (w *TimeWall, release func()) {
+	m.mu.Lock()
+	w = m.current
+	floor := wallFloor(w)
+	m.floors[floor]++
+	m.mu.Unlock()
+	return w, m.releaseFunc(floor)
+}
+
+// AcquireFloor registers an arbitrary instant as an in-flight floor (path
+// read-only transactions pin their activity-link thresholds this way).
+// release is idempotent.
+func (m *WallManager) AcquireFloor(floor vclock.Time) (release func()) {
+	m.mu.Lock()
+	m.floors[floor]++
+	m.mu.Unlock()
+	return m.releaseFunc(floor)
+}
+
+func (m *WallManager) releaseFunc(floor vclock.Time) func() {
+	released := false
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		if m.floors[floor] <= 1 {
+			delete(m.floors, floor)
+		} else {
+			m.floors[floor]--
+		}
+	}
+}
+
+func wallFloor(w *TimeWall) vclock.Time {
+	floor := w.At
+	for _, c := range w.Component {
+		if c < floor {
+			floor = c
+		}
+	}
+	return floor
+}
+
+// SafeFloor returns the earliest instant any current or in-flight wall may
+// still direct a reader to: the minimum over the released wall's
+// components, any pending (scheduled but not yet computable) wall instant,
+// and every floor acquired by an in-flight reader. Garbage collection and
+// activity-history pruning must not advance past it.
+func (m *WallManager) SafeFloor() vclock.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	floor := vclock.Infinity
+	if m.pendingAt != 0 && m.pendingAt < floor {
+		floor = m.pendingAt
+	}
+	if m.current != nil {
+		if f := wallFloor(m.current); f < floor {
+			floor = f
+		}
+	}
+	for f := range m.floors {
+		if f < floor {
+			floor = f
+		}
+	}
+	return floor
+}
+
+// Stats reports the number of walls released and computability attempts.
+func (m *WallManager) Stats() (released, attempts int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.released, m.attempts
+}

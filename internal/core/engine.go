@@ -1,0 +1,590 @@
+// Package core implements the paper's primary contribution: the HDD
+// concurrency-control engine of Hsu (1982) §4–5.
+//
+// Given a TST-legal partition, the engine runs
+//
+//   - Protocol A for an update transaction's reads outside its root segment:
+//     serve the committed version with the largest write timestamp below the
+//     activity-link threshold A_i^j(I(t)). No read timestamp, no lock, no
+//     waiting — the threshold only admits versions whose writers had already
+//     resolved when t initiated.
+//   - Protocol B for accesses inside the root segment: multi-version
+//     timestamp ordering (Reed'78). Reads register a read timestamp and may
+//     wait for a pending version to resolve; writes are rejected (aborting
+//     the transaction) when they arrive too late.
+//   - Protocol C for ad-hoc read-only transactions: read below the most
+//     recently released time wall (§5.2). No registration, no waiting.
+//
+// A variant of Protocol A is also provided for read-only transactions whose
+// read set lies on a single critical path (§5, Figure 8): they run as a
+// fictitious class below the lowest class of the path.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hdd/internal/activity"
+	"hdd/internal/alink"
+	"hdd/internal/cc"
+	"hdd/internal/mvstore"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// RootProtocol selects the intra-root-segment synchronization of Protocol
+// B. §4.2 allows either: "use the basic timestamp ordering protocol
+// [Bernstein80] or the multi-version timestamp ordering protocol
+// [Reed78]". Storage is multi-version either way — Protocols A and C need
+// the version history of every segment — the choice only governs what an
+// update transaction's *own-segment* reads do.
+type RootProtocol uint8
+
+const (
+	// RootMVTO (default): own-segment reads are served the latest version
+	// below the transaction's timestamp — old readers never get rejected.
+	RootMVTO RootProtocol = iota
+	// RootBasicTO: own-segment reads must see the globally latest
+	// version; a transaction older than that version's writer is
+	// rejected (read-too-late), as in single-version timestamp ordering.
+	RootBasicTO
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Partition is the validated TST-legal decomposition. Required.
+	Partition *schema.Partition
+	// RootProtocol selects Protocol B's intra-root variant; defaults to
+	// RootMVTO.
+	RootProtocol RootProtocol
+	// Clock is the logical clock; a fresh one is created if nil. Sharing a
+	// clock lets experiments coordinate several engines.
+	Clock *vclock.Clock
+	// WallInterval is the pacing of time-wall releases in logical ticks
+	// (§5.2 "at certain intervals"). Defaults to 256.
+	WallInterval vclock.Time
+	// GCEveryCommits runs version garbage collection and activity-history
+	// pruning every N commits; 0 disables automatic GC.
+	GCEveryCommits int64
+	// Recorder observes the produced schedule; nil means no recording.
+	Recorder cc.Recorder
+}
+
+// Engine is the HDD concurrency-control engine. It is safe for concurrent
+// use.
+type Engine struct {
+	part  *schema.Partition
+	clock *vclock.Clock
+	store *mvstore.Store
+	act   *activity.Set
+	links *alink.Links
+	walls *alink.WallManager
+	rec   cc.Recorder
+	ctr   cc.Counters
+
+	// gate admits ordinary update transactions shared and §7.1 ad-hoc
+	// transactions exclusive; see adhoc.go.
+	gate adhocGate
+
+	rootProto RootProtocol
+
+	gcEvery       int64
+	commitCounter atomic.Int64
+	gcRuns        atomic.Int64
+}
+
+var _ cc.Engine = (*Engine)(nil)
+
+// NewEngine builds an HDD engine over cfg.Partition.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("core: Config.Partition is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewClock()
+	}
+	if cfg.WallInterval <= 0 {
+		cfg.WallInterval = 256
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = cc.NopRecorder{}
+	}
+	// §5.2: wall computation starts from a class of one of the lowest
+	// levels. LowestClasses is never empty for a valid partition.
+	start := cfg.Partition.LowestClasses()[0]
+	act := activity.NewSet(cfg.Partition.NumClasses())
+	links := alink.New(cfg.Partition, act)
+	e := &Engine{
+		part:      cfg.Partition,
+		clock:     cfg.Clock,
+		store:     mvstore.New(),
+		act:       act,
+		links:     links,
+		walls:     alink.NewWallManager(links, cfg.Clock, cfg.WallInterval, start),
+		rec:       cfg.Recorder,
+		rootProto: cfg.RootProtocol,
+		gcEvery:   cfg.GCEveryCommits,
+	}
+	return e, nil
+}
+
+// Name implements cc.Engine.
+func (e *Engine) Name() string { return "HDD" }
+
+// Close implements cc.Engine.
+func (e *Engine) Close() error { return nil }
+
+// Stats implements cc.Engine.
+func (e *Engine) Stats() cc.Stats { return e.ctr.Snapshot() }
+
+// Partition returns the engine's partition.
+func (e *Engine) Partition() *schema.Partition { return e.part }
+
+// Clock returns the engine's logical clock.
+func (e *Engine) Clock() *vclock.Clock { return e.clock }
+
+// Store exposes the underlying multi-version store for tests and the GC
+// ablation experiment.
+func (e *Engine) Store() *mvstore.Store { return e.store }
+
+// Links exposes the activity-link evaluator for tests.
+func (e *Engine) Links() *alink.Links { return e.links }
+
+// Walls exposes the time-wall manager for tests and experiments.
+func (e *Engine) Walls() *alink.WallManager { return e.walls }
+
+// Begin implements cc.Engine: it starts an update transaction of the given
+// class.
+func (e *Engine) Begin(class schema.ClassID) (cc.Txn, error) {
+	if class < 0 || int(class) >= e.part.NumClasses() {
+		return nil, fmt.Errorf("core: unknown class %d", class)
+	}
+	e.enterUpdate()
+	// BeginTxn's global barrier guarantees that any instant later drawn
+	// through the activity set observes this registration — the property
+	// every I_old(m) evaluation relies on (see activity.Set).
+	init := e.act.BeginTxn(int(class), e.clock)
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, class, false)
+	return &updateTxn{eng: e, init: init, class: class}, nil
+}
+
+// BeginReadOnly implements cc.Engine: it starts an ad-hoc read-only
+// transaction under Protocol C, reading below the most recently released
+// time wall (§5.2). It never blocks and never registers reads.
+func (e *Engine) BeginReadOnly() (cc.Txn, error) {
+	init := e.clock.Tick()
+	// Acquiring (rather than just reading) the wall pins its floor
+	// against garbage collection for the transaction's lifetime: a newer
+	// wall may release meanwhile, and GC keyed only to the current wall
+	// would prune versions this transaction's wall still directs it to.
+	wall, release := e.walls.AcquireCurrent()
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, schema.NoClass, true)
+	return &readOnlyTxn{eng: e, init: init, wall: wall, release: release}, nil
+}
+
+// BeginReadOnlyOnPath starts a read-only transaction whose entire read set
+// lies on the critical path through base and upward (§5, Figure 8). It runs
+// as a fictitious update class immediately below base: every read uses a
+// Protocol A threshold, so it sees fresher data than a Protocol C
+// transaction without registering anything. Reads outside the critical path
+// through base fail the class check.
+func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
+	if base < 0 || int(base) >= e.part.NumClasses() {
+		return nil, fmt.Errorf("core: unknown class %d", base)
+	}
+	// The fictitious-class thresholds evaluate I_old at this instant, so
+	// it must be a barrier tick. Thresholds are pinned eagerly for every
+	// segment on the critical path: the values are functions of init
+	// alone, and pinning both fixes them against activity-history pruning
+	// and lets the floor below be registered with the garbage collector.
+	init := e.act.TickBarrier(e.clock)
+	bounds := make(map[schema.SegmentID]vclock.Time)
+	floor := init
+	for s := 0; s < e.part.NumSegments(); s++ {
+		target := schema.ClassID(s)
+		if target != base && !e.part.Higher(target, base) {
+			continue
+		}
+		b := e.links.AFrom(base, target, init)
+		bounds[schema.SegmentID(s)] = b
+		if b < floor {
+			floor = b
+		}
+	}
+	release := e.walls.AcquireFloor(floor)
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, schema.NoClass, true)
+	return &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds, release: release}, nil
+}
+
+// BeginReadOnlyFor starts a read-only transaction declared to read only
+// the given segments, choosing the protocol the way §5 prescribes: if the
+// segments lie on one critical path of the DHG, the transaction runs as a
+// fictitious class below the path's lowest class (Protocol A semantics —
+// fresher); otherwise it reads below the current time wall (Protocol C).
+// Reads outside the declared set fail under the on-path variant and are
+// allowed (wall-bounded) under the wall variant.
+func (e *Engine) BeginReadOnlyFor(segments ...schema.SegmentID) (cc.Txn, error) {
+	classes := make([]schema.ClassID, 0, len(segments))
+	for _, s := range segments {
+		if s < 0 || int(s) >= e.part.NumSegments() {
+			return nil, fmt.Errorf("core: unknown segment %d", s)
+		}
+		classes = append(classes, schema.ClassID(s))
+	}
+	if len(classes) > 0 && e.part.OnOneCriticalPath(classes) {
+		// The base is the lowest declared class: every other declared
+		// segment is on the critical path above it.
+		base := classes[0]
+		for _, c := range classes[1:] {
+			if e.part.Higher(base, c) {
+				base = c
+			}
+		}
+		return e.BeginReadOnlyOnPath(base)
+	}
+	return e.BeginReadOnly()
+}
+
+// maybeGC runs store GC and activity pruning when the commit counter
+// crosses the configured period.
+func (e *Engine) maybeGC() {
+	if e.gcEvery <= 0 {
+		return
+	}
+	if e.commitCounter.Add(1)%e.gcEvery != 0 {
+		return
+	}
+	e.store.GC(e.gcWatermark())
+	e.act.PruneBefore(e.gcWatermark())
+	e.gcRuns.Add(1)
+}
+
+// gcWatermark computes the instant below which no future read bound or
+// activity query can reach: the minimum of live initiation times and the
+// wall floor, closed under I_old (see activity.Set.ClosedWatermark — a
+// threshold chain can dig below any live transaction's initiation by
+// following historical activity overlaps).
+func (e *Engine) gcWatermark() vclock.Time {
+	now := e.clock.Now()
+	w := vclock.Min(e.act.GlobalWatermark(now), e.walls.SafeFloor())
+	return e.act.ClosedWatermark(w)
+}
+
+// GCRuns reports how many automatic GC cycles have run.
+func (e *Engine) GCRuns() int64 { return e.gcRuns.Load() }
+
+// ForceGC runs one GC cycle immediately with a freshly computed watermark
+// and returns the number of store versions pruned.
+func (e *Engine) ForceGC() int {
+	watermark := e.gcWatermark()
+	pruned := e.store.GC(watermark)
+	e.act.PruneBefore(watermark)
+	return pruned
+}
+
+// updateTxn is an update transaction of one class.
+type updateTxn struct {
+	eng   *Engine
+	init  vclock.Time
+	class schema.ClassID
+	done  bool
+	// writes tracks granules with an installed pending version, for
+	// commit/abort and read-your-own-writes.
+	writes map[schema.GranuleID][]byte
+}
+
+var _ cc.Txn = (*updateTxn)(nil)
+
+// ID implements cc.Txn.
+func (t *updateTxn) ID() cc.TxnID { return t.init }
+
+// Class implements cc.Txn.
+func (t *updateTxn) Class() schema.ClassID { return t.class }
+
+// Read implements cc.Txn. Reads in the root segment follow Protocol B
+// (registered, may wait); reads in higher segments follow Protocol A
+// (non-blocking, trace-free).
+func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
+	if t.done {
+		return nil, cc.ErrTxnDone
+	}
+	e := t.eng
+	e.ctr.Reads.Add(1)
+	if v, ok := t.writes[g]; ok {
+		e.rec.RecordRead(t.init, g, t.init, true)
+		return append([]byte(nil), v...), nil
+	}
+	root := t.eng.part.Class(t.class).Writes
+	switch {
+	case g.Segment == root:
+		// Protocol B: registered read at the transaction's own timestamp
+		// (RootMVTO), or of the globally latest version with a
+		// read-too-late rejection (RootBasicTO).
+		bound := t.init
+		if e.rootProto == RootBasicTO {
+			bound = vclock.Infinity
+		}
+		for {
+			val, vts, ok, wait := e.store.ReadRegistered(g, bound, t.init)
+			if wait != nil {
+				// Basic TO must reject a read behind a *younger*
+				// prewrite rather than wait for it: the younger writer's
+				// own reads may be waiting on this transaction's pending
+				// versions the other way, and the age-ordered
+				// no-deadlock argument only covers waits on elders.
+				if e.rootProto == RootBasicTO && vts > t.init {
+					e.ctr.RejectedReads.Add(1)
+					err := &cc.AbortError{Reason: cc.ReasonReadRejected,
+						Err: fmt.Errorf("basic-TO root read of %v at %d behind prewrite at %d", g, t.init, vts)}
+					t.abort()
+					return nil, err
+				}
+				e.ctr.BlockedReads.Add(1)
+				wait()
+				continue
+			}
+			if e.rootProto == RootBasicTO && ok && vts > t.init {
+				e.ctr.RejectedReads.Add(1)
+				err := &cc.AbortError{Reason: cc.ReasonReadRejected,
+					Err: fmt.Errorf("basic-TO root read of %v at %d after write at %d", g, t.init, vts)}
+				t.abort()
+				return nil, err
+			}
+			e.ctr.ReadRegistrations.Add(1)
+			e.rec.RecordRead(t.init, g, vts, ok)
+			return val, nil
+		}
+	case e.part.MayRead(t.class, g.Segment):
+		// Protocol A: the segment is higher in the DHG; serve the latest
+		// committed version below the activity-link threshold. Nothing is
+		// registered and the read cannot block (§4.2).
+		bound := e.links.A(t.class, schema.ClassID(g.Segment), t.init)
+		val, vts, ok := e.store.ReadCommittedBefore(g, bound)
+		e.rec.RecordRead(t.init, g, vts, ok)
+		return val, nil
+	default:
+		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
+			Err: fmt.Errorf("class %d (%q) may not read segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
+		t.abort()
+		return nil, err
+	}
+}
+
+// Write implements cc.Txn. Writes are restricted to the root segment and
+// follow Protocol B's MVTO admission check; a rejected write aborts the
+// transaction.
+func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	e := t.eng
+	e.ctr.Writes.Add(1)
+	if !e.part.MayWrite(t.class, g.Segment) {
+		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
+			Err: fmt.Errorf("class %d (%q) may not write segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
+		t.abort()
+		return err
+	}
+	if _, ok := t.writes[g]; ok {
+		e.store.UpdatePending(g, t.init, value)
+		t.writes[g] = append([]byte(nil), value...)
+		return nil
+	}
+	if err := e.store.InstallChecked(g, t.init, value); err != nil {
+		e.ctr.RejectedWrites.Add(1)
+		t.abort()
+		return &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: err}
+	}
+	if t.writes == nil {
+		t.writes = make(map[schema.GranuleID][]byte)
+	}
+	t.writes[g] = append([]byte(nil), value...)
+	e.rec.RecordWrite(t.init, g, t.init)
+	return nil
+}
+
+// Commit implements cc.Txn. Version flips precede the activity-table
+// commit: once the table shows this transaction resolved, every Protocol A
+// threshold that admits its versions must find them committed in the store
+// (the mutexes on both structures give the necessary happens-before).
+func (t *updateTxn) Commit() error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	t.done = true
+	e := t.eng
+	for g := range t.writes {
+		e.store.Commit(g, t.init)
+	}
+	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
+	e.exitUpdate()
+	e.ctr.Commits.Add(1)
+	e.rec.RecordCommit(t.init, at)
+	e.walls.Poll()
+	e.maybeGC()
+	return nil
+}
+
+// Abort implements cc.Txn.
+func (t *updateTxn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.abort()
+	return nil
+}
+
+func (t *updateTxn) abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	e := t.eng
+	for g := range t.writes {
+		e.store.Abort(g, t.init)
+	}
+	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
+	e.exitUpdate()
+	e.ctr.Aborts.Add(1)
+	e.rec.RecordAbort(t.init, at)
+	e.walls.Poll()
+}
+
+// readOnlyTxn is a Protocol C transaction pinned to a released time wall.
+type readOnlyTxn struct {
+	eng     *Engine
+	init    vclock.Time
+	wall    *alink.TimeWall
+	release func()
+	done    bool
+}
+
+var _ cc.Txn = (*readOnlyTxn)(nil)
+
+// ID implements cc.Txn.
+func (t *readOnlyTxn) ID() cc.TxnID { return t.init }
+
+// Class implements cc.Txn.
+func (t *readOnlyTxn) Class() schema.ClassID { return schema.NoClass }
+
+// Read implements cc.Txn: the latest committed version below the wall
+// component of the granule's segment. Never blocks, never registers.
+func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	if t.done {
+		return nil, cc.ErrTxnDone
+	}
+	e := t.eng
+	e.ctr.Reads.Add(1)
+	bound := t.wall.Threshold(g.Segment)
+	val, vts, ok := e.store.ReadCommittedBefore(g, bound)
+	e.rec.RecordRead(t.init, g, vts, ok)
+	return val, nil
+}
+
+// Write implements cc.Txn; read-only transactions cannot write.
+func (t *readOnlyTxn) Write(schema.GranuleID, []byte) error {
+	return fmt.Errorf("core: write in a read-only transaction")
+}
+
+// Commit implements cc.Txn.
+func (t *readOnlyTxn) Commit() error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	t.done = true
+	t.release()
+	e := t.eng
+	at := e.clock.Tick()
+	e.ctr.Commits.Add(1)
+	e.rec.RecordCommit(t.init, at)
+	return nil
+}
+
+// Abort implements cc.Txn.
+func (t *readOnlyTxn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	t.release()
+	e := t.eng
+	at := e.clock.Tick()
+	e.ctr.Aborts.Add(1)
+	e.rec.RecordAbort(t.init, at)
+	return nil
+}
+
+// Wall exposes the wall the transaction reads under, for tests.
+func (t *readOnlyTxn) Wall() *alink.TimeWall { return t.wall }
+
+// pathReadOnlyTxn reads along one critical path as a fictitious class below
+// base (§5, Figure 8). Its activity-link thresholds are pinned at begin.
+type pathReadOnlyTxn struct {
+	eng     *Engine
+	init    vclock.Time
+	base    schema.ClassID
+	bounds  map[schema.SegmentID]vclock.Time
+	release func()
+	done    bool
+}
+
+var _ cc.Txn = (*pathReadOnlyTxn)(nil)
+
+// ID implements cc.Txn.
+func (t *pathReadOnlyTxn) ID() cc.TxnID { return t.init }
+
+// Class implements cc.Txn.
+func (t *pathReadOnlyTxn) Class() schema.ClassID { return schema.NoClass }
+
+// Read implements cc.Txn with the fictitious-class Protocol A threshold
+// pinned at initiation.
+func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	if t.done {
+		return nil, cc.ErrTxnDone
+	}
+	e := t.eng
+	bound, ok := t.bounds[g.Segment]
+	if !ok {
+		return nil, fmt.Errorf("core: segment %d is not on the critical path above class %d", g.Segment, t.base)
+	}
+	e.ctr.Reads.Add(1)
+	val, vts, found := e.store.ReadCommittedBefore(g, bound)
+	e.rec.RecordRead(t.init, g, vts, found)
+	return val, nil
+}
+
+// Write implements cc.Txn; read-only transactions cannot write.
+func (t *pathReadOnlyTxn) Write(schema.GranuleID, []byte) error {
+	return fmt.Errorf("core: write in a read-only transaction")
+}
+
+// Commit implements cc.Txn.
+func (t *pathReadOnlyTxn) Commit() error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	t.done = true
+	t.release()
+	e := t.eng
+	at := e.clock.Tick()
+	e.ctr.Commits.Add(1)
+	e.rec.RecordCommit(t.init, at)
+	return nil
+}
+
+// Abort implements cc.Txn.
+func (t *pathReadOnlyTxn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	t.release()
+	e := t.eng
+	at := e.clock.Tick()
+	e.ctr.Aborts.Add(1)
+	e.rec.RecordAbort(t.init, at)
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+func benchEngine(b *testing.B, part *schema.Partition) *Engine {
+	b.Helper()
+	e, err := NewEngine(Config{Partition: part, WallInterval: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchPartChain(b *testing.B, k int) *schema.Partition {
+	b.Helper()
+	names := make([]string, k)
+	classes := make([]schema.ClassSpec, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("s%d", i)
+		var reads []schema.SegmentID
+		for j := 0; j < i; j++ {
+			reads = append(reads, schema.SegmentID(j))
+		}
+		classes[i] = schema.ClassSpec{Name: fmt.Sprintf("c%d", i), Writes: schema.SegmentID(i), Reads: reads}
+	}
+	p, err := schema.NewPartition(names, classes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkProtocolARead: the headline fast path — a cross-class read with
+// no registration.
+func BenchmarkProtocolARead(b *testing.B) {
+	for _, depth := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			e := benchEngine(b, benchPartChain(b, depth))
+			w, _ := e.Begin(0)
+			if err := w.Write(gr(0, 1), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			low := schema.ClassID(depth - 1)
+			tx, _ := e.Begin(low)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tx.Read(gr(0, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = tx.Abort()
+		})
+	}
+}
+
+// BenchmarkProtocolBRead: the registered intra-root read.
+func BenchmarkProtocolBRead(b *testing.B) {
+	e := benchEngine(b, benchPartChain(b, 2))
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(0, 1), []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	tx, _ := e.Begin(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Read(gr(0, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = tx.Abort()
+}
+
+// BenchmarkUpdateTxnCycle: begin → read-up → rmw root → commit.
+func BenchmarkUpdateTxnCycle(b *testing.B) {
+	e := benchEngine(b, benchPartChain(b, 3))
+	seed, _ := e.Begin(0)
+	if err := seed.Write(gr(0, 1), []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := e.Begin(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Read(gr(0, 1)); err != nil {
+			b.Fatal(err)
+		}
+		g := gr(2, i%64)
+		old, err := tx.Read(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(g, append(old[:0:0], byte(i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadOnlyTxn: Protocol C begin + 4 reads + commit.
+func BenchmarkReadOnlyTxn(b *testing.B) {
+	e := benchEngine(b, benchPartChain(b, 3))
+	for s := 0; s < 3; s++ {
+		tx, _ := e.Begin(schema.ClassID(s))
+		if err := tx.Write(gr(s, 1), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Walls().Force()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := e.BeginReadOnly()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			if _, err := tx.Read(gr(s, 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelUpdates: contended engine throughput ceiling.
+func BenchmarkParallelUpdates(b *testing.B) {
+	e := benchEngine(b, benchPartChain(b, 2))
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			tx, err := e.Begin(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Read(gr(0, i%1024)); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Write(gr(1, i%1024), []byte{byte(i)}); err != nil {
+				if cc.IsAbort(err) {
+					continue
+				}
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,300 @@
+// Package decompose implements the hierarchical database decomposition
+// methodology the paper sketches as future research (§7.2): legalizing an
+// acyclic-but-not-TST data hierarchy graph into a transitive semi-tree by
+// merging segments (§7.2.1, preserving granularity as much as possible),
+// and proposing a partition from a transaction access matrix (§7.2.2).
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"hdd/internal/graph"
+	"hdd/internal/schema"
+)
+
+// AccessSpec declares one transaction type's accesses over a set of
+// candidate segments, identified by index.
+type AccessSpec struct {
+	// Name labels the transaction type.
+	Name string
+	// Writes lists segment indices the type updates.
+	Writes []int
+	// Reads lists segment indices the type reads.
+	Reads []int
+}
+
+// Merging is the result of a legalization: a mapping from original
+// segments to merged groups.
+type Merging struct {
+	// Group[i] is the merged-group index of original segment i. Groups
+	// are dense, 0..NumGroups-1.
+	Group []int
+	// NumGroups is the number of merged segments.
+	NumGroups int
+}
+
+// GroupMembers returns the original segments in each group.
+func (m *Merging) GroupMembers() [][]int {
+	out := make([][]int, m.NumGroups)
+	for seg, g := range m.Group {
+		out[g] = append(out[g], seg)
+	}
+	return out
+}
+
+// BuildDHG constructs the data hierarchy graph over n candidate segments
+// from the declared access specs: an arc i→j wherever some type writes in
+// i and accesses j (§3.2).
+func BuildDHG(n int, specs []AccessSpec) (*graph.Digraph, error) {
+	g := graph.New(n)
+	for _, sp := range specs {
+		access := map[int]bool{}
+		for _, w := range sp.Writes {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("decompose: %q writes unknown segment %d", sp.Name, w)
+			}
+			access[w] = true
+		}
+		for _, r := range sp.Reads {
+			if r < 0 || r >= n {
+				return nil, fmt.Errorf("decompose: %q reads unknown segment %d", sp.Name, r)
+			}
+			access[r] = true
+		}
+		for _, w := range sp.Writes {
+			for a := range access {
+				if a != w {
+					g.AddArc(w, a)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Legalize merges segments of an arbitrary DHG until the quotient graph is
+// a transitive semi-tree, returning the merging. The algorithm:
+//
+//  1. Collapse every strongly connected component (cycles must share a
+//     segment: a transaction writing two mutually-dependent segments
+//     already violates the one-root property).
+//  2. While the quotient is not a TST, find a pair of nodes joined by two
+//     distinct undirected paths in the transitive reduction and merge the
+//     pair's "join" endpoints — the smallest merge that removes that
+//     violation — preferring the pair whose merge keeps groups smallest.
+//
+// The result is always legal: in the worst case everything merges into one
+// segment (the trivial partition, for which HDD degenerates to plain
+// MVTO, as the paper notes any database trivially admits).
+func Legalize(dhg *graph.Digraph) *Merging {
+	n := dhg.N()
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	// Union-find over groups.
+	var find func(int) int
+	find = func(x int) int {
+		for group[x] != x {
+			group[x] = group[group[x]]
+			x = group[x]
+		}
+		return x
+	}
+	// Alternate the two repair steps until legal: a diamond merge can
+	// create a directed cycle (merging the endpoints of u→w→v makes w
+	// mutually reachable with the merged node), so cycles are re-collapsed
+	// after every merge.
+	for {
+		// Step 1: collapse directed cycles.
+		for {
+			q, reps := quotient(dhg, group, find)
+			cyc := q.FindCycle()
+			if cyc == nil {
+				break
+			}
+			for i := 0; i+1 < len(cyc); i++ {
+				unionQuotient(reps[cyc[i]], reps[cyc[i+1]], group, find)
+			}
+		}
+		// Step 2: break one undirected diamond in the reduction.
+		q, reps := quotient(dhg, group, find)
+		if q.IsTransitiveSemiTree() {
+			break
+		}
+		u, v := firstDiamond(q)
+		if u < 0 {
+			break // defensive: acyclic and diamond-free should be a TST
+		}
+		unionQuotient(reps[u], reps[v], group, find)
+	}
+
+	// Densify group ids.
+	ids := map[int]int{}
+	out := &Merging{Group: make([]int, n)}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		id, ok := ids[r]
+		if !ok {
+			id = len(ids)
+			ids[r] = id
+		}
+		out.Group[i] = id
+	}
+	out.NumGroups = len(ids)
+	return out
+}
+
+// unionQuotient merges the groups whose quotient-node indices are qa and
+// qb; the caller passes representative original segments.
+func unionQuotient(a, b int, group []int, find func(int) int) {
+	ra, rb := find(a), find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		group[rb] = ra
+	} else {
+		group[ra] = rb
+	}
+}
+
+// quotient builds the quotient graph of the current grouping. It returns
+// the graph (nodes = dense group ids) and a representative original
+// segment per quotient node.
+func quotient(dhg *graph.Digraph, group []int, find func(int) int) (*graph.Digraph, []int) {
+	ids := map[int]int{}
+	var reps []int
+	idOf := func(seg int) int {
+		r := find(seg)
+		id, ok := ids[r]
+		if !ok {
+			id = len(ids)
+			ids[r] = id
+			reps = append(reps, r)
+		}
+		return id
+	}
+	for i := 0; i < dhg.N(); i++ {
+		idOf(i)
+	}
+	q := graph.New(len(ids))
+	for _, arc := range dhg.Arcs() {
+		u, v := idOf(arc[0]), idOf(arc[1])
+		if u != v {
+			q.AddArc(u, v)
+		}
+	}
+	return q, reps
+}
+
+// firstDiamond finds a pair of distinct quotient nodes joined by two
+// distinct undirected paths in the transitive reduction of an acyclic q,
+// returning the pair closest together (merging them removes the extra
+// path). Returns (-1, -1) if none exists.
+func firstDiamond(q *graph.Digraph) (int, int) {
+	red := q.TransitiveReduction()
+	n := red.N()
+	// Undirected adjacency of the reduction.
+	und := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range red.Succ(u) {
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], u)
+		}
+	}
+	for i := range und {
+		sort.Ints(und[i])
+	}
+	// An undirected cycle exists iff some pair has two undirected paths
+	// (antiparallel arcs cannot occur in an acyclic graph). BFS from each
+	// node; a cross edge closes a cycle — merge that edge's endpoints.
+	type edge struct{ u, v int }
+	best := edge{-1, -1}
+	visited := make([]int, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	parent := make([]int, n)
+	for s := 0; s < n; s++ {
+		if visited[s] != -1 {
+			continue
+		}
+		visited[s] = s
+		parent[s] = -1
+		queue := []int{s}
+		for len(queue) > 0 && best.u < 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range und[x] {
+				if y == parent[x] {
+					// Skip the tree edge back; parallel reduction arcs
+					// between the same pair cannot exist.
+					continue
+				}
+				if visited[y] == s {
+					// Cycle found: x and y are on it and adjacent.
+					best = edge{x, y}
+					break
+				}
+				if visited[y] == -1 {
+					visited[y] = s
+					parent[y] = x
+					queue = append(queue, y)
+				}
+			}
+		}
+		if best.u >= 0 {
+			break
+		}
+	}
+	return best.u, best.v
+}
+
+// ProposePartition clusters an access matrix into a legal partition: build
+// the DHG from the specs, legalize it, and emit the merged segment names
+// and class specs ready for schema.NewPartition. Merged classes union the
+// read sets of every type rooted in them.
+func ProposePartition(segmentNames []string, specs []AccessSpec) ([]string, []schema.ClassSpec, *Merging, error) {
+	n := len(segmentNames)
+	dhg, err := BuildDHG(n, specs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := Legalize(dhg)
+	names := make([]string, m.NumGroups)
+	for g, members := range m.GroupMembers() {
+		for k, seg := range members {
+			if k > 0 {
+				names[g] += "+"
+			}
+			names[g] += segmentNames[seg]
+		}
+	}
+	classes := make([]schema.ClassSpec, m.NumGroups)
+	for g := range classes {
+		classes[g] = schema.ClassSpec{Name: "class " + names[g], Writes: schema.SegmentID(g)}
+	}
+	for _, sp := range specs {
+		roots := map[int]bool{}
+		for _, w := range sp.Writes {
+			roots[m.Group[w]] = true
+		}
+		for root := range roots {
+			for _, r := range sp.Reads {
+				if rg := m.Group[r]; rg != root {
+					classes[root].Reads = append(classes[root].Reads, schema.SegmentID(rg))
+				}
+			}
+			for _, w := range sp.Writes {
+				if wg := m.Group[w]; wg != root {
+					// A type writing two groups would be illegal; the
+					// legalization merged them, so this cannot happen.
+					panic(fmt.Sprintf("decompose: type %q writes groups %d and %d after legalization", sp.Name, root, wg))
+				}
+			}
+		}
+	}
+	return names, classes, m, nil
+}

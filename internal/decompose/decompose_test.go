@@ -1,0 +1,175 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdd/internal/graph"
+	"hdd/internal/schema"
+)
+
+func TestBuildDHG(t *testing.T) {
+	g, err := BuildDHG(3, []AccessSpec{
+		{Name: "t1", Writes: []int{1}, Reads: []int{0}},
+		{Name: "t2", Writes: []int{2}, Reads: []int{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasArc(1, 0) || !g.HasArc(2, 0) || !g.HasArc(2, 1) {
+		t.Fatalf("arcs = %v", g.Arcs())
+	}
+	if g.HasArc(0, 1) {
+		t.Fatal("unexpected arc")
+	}
+	if _, err := BuildDHG(2, []AccessSpec{{Name: "bad", Writes: []int{5}}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := BuildDHG(2, []AccessSpec{{Name: "bad", Reads: []int{5}}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestBuildDHGMultiWrite(t *testing.T) {
+	// A type writing two segments links them both ways.
+	g, err := BuildDHG(2, []AccessSpec{{Name: "t", Writes: []int{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) {
+		t.Fatalf("arcs = %v", g.Arcs())
+	}
+}
+
+func TestLegalizeAlreadyLegal(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(2, 1)
+	g.AddArc(1, 0)
+	m := Legalize(g)
+	if m.NumGroups != 3 {
+		t.Fatalf("NumGroups = %d, want 3 (no merging needed)", m.NumGroups)
+	}
+}
+
+func TestLegalizeCycle(t *testing.T) {
+	g := graph.New(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(2, 0)
+	m := Legalize(g)
+	if m.NumGroups != 2 {
+		t.Fatalf("NumGroups = %d, want 2 (cycle collapsed)", m.NumGroups)
+	}
+	if m.Group[0] != m.Group[1] {
+		t.Fatal("cycle endpoints not merged")
+	}
+	if m.Group[2] == m.Group[0] {
+		t.Fatal("unrelated segment merged")
+	}
+}
+
+func TestLegalizeDiamond(t *testing.T) {
+	g := graph.New(4) // 3→1→0, 3→2→0
+	g.AddArc(3, 1)
+	g.AddArc(3, 2)
+	g.AddArc(1, 0)
+	g.AddArc(2, 0)
+	m := Legalize(g)
+	if m.NumGroups >= 4 {
+		t.Fatal("diamond not repaired")
+	}
+	// The quotient must now be a TST.
+	assertQuotientTST(t, g, m)
+}
+
+func assertQuotientTST(t *testing.T, g *graph.Digraph, m *Merging) {
+	t.Helper()
+	q := graph.New(m.NumGroups)
+	for _, a := range g.Arcs() {
+		u, v := m.Group[a[0]], m.Group[a[1]]
+		if u != v {
+			q.AddArc(u, v)
+		}
+	}
+	if !q.IsTransitiveSemiTree() {
+		t.Fatalf("quotient is not a TST: arcs %v, groups %v", q.Arcs(), m.Group)
+	}
+}
+
+// TestLegalizeRandomAlwaysLegal: legalization always terminates with a
+// TST quotient, and never merges when the input is already a TST.
+func TestLegalizeRandomAlwaysLegal(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(7)
+		g := graph.New(n)
+		for i := 0; i < r.Intn(3*n); i++ {
+			g.AddArc(r.Intn(n), r.Intn(n))
+		}
+		m := Legalize(g)
+		assertQuotientTST(t, g, m)
+		if g.IsTransitiveSemiTree() && m.NumGroups != n {
+			t.Fatalf("trial %d: legal input was merged (groups %v, arcs %v)", trial, m.Group, g.Arcs())
+		}
+	}
+}
+
+func TestGroupMembers(t *testing.T) {
+	m := &Merging{Group: []int{0, 1, 0}, NumGroups: 2}
+	mem := m.GroupMembers()
+	if len(mem) != 2 || len(mem[0]) != 2 || mem[0][0] != 0 || mem[0][1] != 2 {
+		t.Fatalf("GroupMembers = %v", mem)
+	}
+}
+
+// TestProposePartition: from access specs with a diamond to a validated
+// schema.Partition.
+func TestProposePartition(t *testing.T) {
+	names := []string{"events", "summaries", "reports", "dashboards"}
+	specs := []AccessSpec{
+		{Name: "ingest", Writes: []int{0}},
+		{Name: "summarize", Writes: []int{1}, Reads: []int{0}},
+		{Name: "report", Writes: []int{2}, Reads: []int{0}},
+		{Name: "dash", Writes: []int{3}, Reads: []int{1, 2}},
+	}
+	outNames, classes, m, err := ProposePartition(names, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGroups >= 4 {
+		t.Fatal("diamond not merged")
+	}
+	part, err := schema.NewPartition(outNames, classes)
+	if err != nil {
+		t.Fatalf("proposed partition invalid: %v\nnames=%v classes=%+v", err, outNames, classes)
+	}
+	if part.NumSegments() != m.NumGroups {
+		t.Fatal("shape mismatch")
+	}
+}
+
+// TestProposePartitionAlreadyLegal keeps granularity when nothing needs
+// merging.
+func TestProposePartitionAlreadyLegal(t *testing.T) {
+	names := []string{"a", "b"}
+	specs := []AccessSpec{
+		{Name: "w-a", Writes: []int{0}},
+		{Name: "w-b", Writes: []int{1}, Reads: []int{0}},
+	}
+	outNames, classes, m, err := ProposePartition(names, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGroups != 2 {
+		t.Fatalf("NumGroups = %d", m.NumGroups)
+	}
+	if _, err := schema.NewPartition(outNames, classes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposePartitionBadSpec(t *testing.T) {
+	if _, _, _, err := ProposePartition([]string{"a"}, []AccessSpec{{Name: "x", Writes: []int{7}}}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,43 @@
+package decompose
+
+import (
+	"testing"
+
+	"hdd/internal/graph"
+)
+
+// FuzzLegalize: for any digraph encoded as an arc list, legalization must
+// terminate and produce a TST quotient, and must not merge anything when
+// the input is already a TST. Run with `go test -fuzz=FuzzLegalize` for
+// continuous fuzzing; the seed corpus runs under plain `go test`.
+func FuzzLegalize(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3})       // chain
+	f.Add(uint8(4), []byte{3, 1, 3, 2, 1, 0, 2, 0}) // diamond
+	f.Add(uint8(3), []byte{0, 1, 1, 0})             // 2-cycle
+	f.Add(uint8(5), []byte{})                       // empty
+	f.Add(uint8(6), []byte{5, 0, 4, 0, 3, 0, 2, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, n uint8, arcs []byte) {
+		nodes := int(n%12) + 1
+		g := graph.New(nodes)
+		for i := 0; i+1 < len(arcs) && i < 64; i += 2 {
+			g.AddArc(int(arcs[i])%nodes, int(arcs[i+1])%nodes)
+		}
+		m := Legalize(g)
+		if m.NumGroups < 1 || m.NumGroups > nodes {
+			t.Fatalf("NumGroups = %d for %d nodes", m.NumGroups, nodes)
+		}
+		q := graph.New(m.NumGroups)
+		for _, a := range g.Arcs() {
+			u, v := m.Group[a[0]], m.Group[a[1]]
+			if u != v {
+				q.AddArc(u, v)
+			}
+		}
+		if !q.IsTransitiveSemiTree() {
+			t.Fatalf("quotient not a TST: input %v, groups %v", g.Arcs(), m.Group)
+		}
+		if g.IsTransitiveSemiTree() && m.NumGroups != nodes {
+			t.Fatalf("legal input merged: %v", g.Arcs())
+		}
+	})
+}

@@ -1,0 +1,459 @@
+// Package graph implements the directed-graph machinery of Hsu (1982) §3.1:
+// reachability, cycle detection, topological order, transitive closure and
+// reduction, semi-trees, transitive semi-trees (TSTs), critical paths and
+// undirected critical paths (UCPs).
+//
+// Nodes are dense integers 0..n-1; callers map their own identifiers onto
+// that range. All graphs here are small (they model data segments and
+// transaction classes, not data), so the implementations favour clarity and
+// exactness over asymptotic cleverness.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over nodes 0..N-1. The zero value is an empty
+// graph with no nodes; use New to create one with a fixed node count.
+type Digraph struct {
+	n   int
+	adj [][]int // adjacency lists, kept sorted and duplicate-free
+	has []map[int]bool
+}
+
+// New returns a Digraph with n nodes and no arcs.
+func New(n int) *Digraph {
+	g := &Digraph{
+		n:   n,
+		adj: make([][]int, n),
+		has: make([]map[int]bool, n),
+	}
+	for i := range g.has {
+		g.has[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// AddArc inserts the arc u→v. Self-loops and duplicates are ignored.
+// It panics if u or v is out of range.
+func (g *Digraph) AddArc(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: arc (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v || g.has[u][v] {
+		return
+	}
+	g.has[u][v] = true
+	g.adj[u] = append(g.adj[u], v)
+	sort.Ints(g.adj[u])
+}
+
+// HasArc reports whether the arc u→v is present.
+func (g *Digraph) HasArc(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.has[u][v]
+}
+
+// Succ returns the successors of u in increasing order. The returned slice
+// must not be modified.
+func (g *Digraph) Succ(u int) []int { return g.adj[u] }
+
+// Arcs returns every arc as a (u,v) pair in lexicographic order.
+func (g *Digraph) Arcs() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// NumArcs returns the number of arcs.
+func (g *Digraph) NumArcs() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			c.AddArc(u, v)
+		}
+	}
+	return c
+}
+
+// Reachable reports whether there is a directed path (of length ≥ 1) from u
+// to v.
+func (g *Digraph) Reachable(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	seen := make([]bool, g.n)
+	stack := append([]int(nil), g.adj[u]...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, g.adj[x]...)
+	}
+	return false
+}
+
+// HasCycle reports whether g contains a directed cycle.
+func (g *Digraph) HasCycle() bool {
+	_, ok := g.TopoSort()
+	return !ok
+}
+
+// TopoSort returns a topological order of the nodes and true, or nil and
+// false if g has a directed cycle. Ties are broken by node index so the
+// order is deterministic.
+func (g *Digraph) TopoSort() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	// Min-heap behaviour via sorted frontier keeps the order deterministic.
+	var frontier []int
+	for u := 0; u < g.n; u++ {
+		if indeg[u] == 0 {
+			frontier = append(frontier, u)
+		}
+	}
+	var order []int
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// FindCycle returns one directed cycle as a node sequence (first node
+// repeated at the end), or nil if g is acyclic.
+func (g *Digraph) FindCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				// Found a back arc u→v: unwind u..v via parent.
+				cycle = []int{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// cycle currently v, u, ..., child-of-v; reverse to path order.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// TransitiveClosure returns a new graph with an arc u→v wherever g has a
+// directed path from u to v.
+func (g *Digraph) TransitiveClosure() *Digraph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		seen := make([]bool, g.n)
+		stack := append([]int(nil), g.adj[u]...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			if x != u {
+				c.AddArc(u, x)
+			}
+			stack = append(stack, g.adj[x]...)
+		}
+	}
+	return c
+}
+
+// TransitiveReduction returns the transitive reduction of an acyclic g: the
+// unique minimal subgraph with the same reachability relation. It panics if
+// g has a cycle (the reduction is not unique for cyclic graphs, and the
+// paper only ever reduces acyclic DHGs).
+func (g *Digraph) TransitiveReduction() *Digraph {
+	if g.HasCycle() {
+		panic("graph: transitive reduction of a cyclic graph")
+	}
+	closure := g.TransitiveClosure()
+	r := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			// u→v is redundant iff some other successor w of u reaches v.
+			redundant := false
+			for _, w := range g.adj[u] {
+				if w != v && (closure.HasArc(w, v)) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				r.AddArc(u, v)
+			}
+		}
+	}
+	return r
+}
+
+// UndirectedPathCount counts simple undirected paths between u and v,
+// stopping early at 2 (the semi-tree test only needs "at most one").
+func (g *Digraph) undirectedPathCount(u, v int, limit int) int {
+	// Build undirected adjacency.
+	und := make([][]int, g.n)
+	for x := 0; x < g.n; x++ {
+		for _, y := range g.adj[x] {
+			und[x] = append(und[x], y)
+			und[y] = append(und[y], x)
+		}
+	}
+	count := 0
+	onPath := make([]bool, g.n)
+	var dfs func(x int)
+	dfs = func(x int) {
+		if count >= limit {
+			return
+		}
+		if x == v {
+			count++
+			return
+		}
+		onPath[x] = true
+		for _, y := range und[x] {
+			if !onPath[y] {
+				dfs(y)
+			}
+		}
+		onPath[x] = false
+	}
+	dfs(u)
+	return count
+}
+
+// IsSemiTree reports whether g is a semi-tree: a digraph with at most one
+// undirected path between any pair of nodes (equivalently: ignoring arc
+// directions yields a simple forest — no antiparallel arc pairs and no
+// undirected cycle).
+func (g *Digraph) IsSemiTree() bool {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if g.has[v][u] {
+				return false // antiparallel pair = two undirected paths
+			}
+			// Each undirected edge appears exactly once: antiparallel
+			// pairs are rejected above, so (u,v) with u→v is unique.
+			ru, rv := find(u), find(v)
+			if ru == rv {
+				return false // undirected cycle
+			}
+			parent[ru] = rv
+		}
+	}
+	return true
+}
+
+// IsTransitiveSemiTree reports whether g is a transitive semi-tree: an
+// acyclic digraph whose transitive reduction is a semi-tree, with every
+// non-reduction arc transitively induced (i.e. implied by the reduction).
+func (g *Digraph) IsTransitiveSemiTree() bool {
+	if g.HasCycle() {
+		return false
+	}
+	red := g.TransitiveReduction()
+	if !red.IsSemiTree() {
+		return false
+	}
+	// Every arc of g must be implied by the reduction's reachability;
+	// reduction preserves reachability, so this always holds for acyclic g.
+	// Verify anyway (cheap, and guards the implementation).
+	closure := red.TransitiveClosure()
+	for _, a := range g.Arcs() {
+		if !closure.HasArc(a[0], a[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalArcs returns the arcs of the transitive reduction of g — the
+// paper's "critical arcs". g must be acyclic.
+func (g *Digraph) CriticalArcs() [][2]int {
+	return g.TransitiveReduction().Arcs()
+}
+
+// CriticalPath returns the critical path from u to v — the unique directed
+// path composed solely of critical arcs — as a node sequence starting at u
+// and ending at v, or nil if none exists. g must be a transitive semi-tree
+// for uniqueness to hold; on other graphs the first path found is returned.
+func (g *Digraph) CriticalPath(u, v int) []int {
+	red := g.TransitiveReduction()
+	var path []int
+	seen := make([]bool, g.n)
+	var dfs func(x int) bool
+	dfs = func(x int) bool {
+		if x == v {
+			path = append(path, x)
+			return true
+		}
+		seen[x] = true
+		for _, y := range red.adj[x] {
+			if !seen[y] && dfs(y) {
+				path = append(path, x)
+				return true
+			}
+		}
+		return false
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return nil
+	}
+	if !dfs(u) {
+		return nil
+	}
+	// path is v..u; reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Higher reports the paper's partial order ⇑: v is higher than u iff the
+// critical path CP_u^v exists.
+func (g *Digraph) Higher(v, u int) bool {
+	return g.CriticalPath(u, v) != nil
+}
+
+// UndirectedCriticalPath returns the paper's UCP_u^v: the unique sequence of
+// nodes from u to v such that every adjacent pair is joined by a critical
+// arc in either direction. It returns nil if none exists. For a transitive
+// semi-tree exactly one UCP exists between every pair of nodes in the same
+// weakly connected component.
+func (g *Digraph) UndirectedCriticalPath(u, v int) []int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return nil
+	}
+	if u == v {
+		return []int{u}
+	}
+	red := g.TransitiveReduction()
+	und := make([][]int, g.n)
+	for x := 0; x < g.n; x++ {
+		for _, y := range red.adj[x] {
+			und[x] = append(und[x], y)
+			und[y] = append(und[y], x)
+		}
+	}
+	for i := range und {
+		sort.Ints(und[i])
+	}
+	// BFS for the unique path.
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			break
+		}
+		for _, y := range und[x] {
+			if prev[y] == -1 {
+				prev[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	if prev[v] == -1 {
+		return nil
+	}
+	var path []int
+	for x := v; ; x = prev[x] {
+		path = append(path, x)
+		if x == u {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

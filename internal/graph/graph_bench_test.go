@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildChainClosure(n int) *Digraph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			g.AddArc(i, j)
+		}
+	}
+	return g
+}
+
+func buildTree(n int) *Digraph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddArc(i, (i-1)/2)
+	}
+	return g
+}
+
+func BenchmarkIsTransitiveSemiTreeTree256(b *testing.B) {
+	g := buildTree(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.IsTransitiveSemiTree() {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+func BenchmarkIsTransitiveSemiTreeChainClosure64(b *testing.B) {
+	g := buildChainClosure(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.IsTransitiveSemiTree() {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+func BenchmarkTransitiveReduction64(b *testing.B) {
+	g := buildChainClosure(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TransitiveReduction()
+	}
+}
+
+func BenchmarkCriticalPathTree256(b *testing.B) {
+	g := buildTree(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.CriticalPath(255, 0) == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkUCPTree256(b *testing.B) {
+	g := buildTree(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.UndirectedCriticalPath(255, 254) == nil {
+			b.Fatal("no UCP")
+		}
+	}
+}
+
+func BenchmarkTopoSortRandomDAG(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := New(512)
+	for i := 0; i < 2048; i++ {
+		u, v := r.Intn(512), r.Intn(512)
+		if u < v {
+			g.AddArc(u, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.TopoSort(); !ok {
+			b.Fatal("cycle")
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig5 builds a transitive semi-tree resembling the paper's Figure 5: a
+// chain 3→2→1→0 with transitively induced arcs, plus a side branch 4→0.
+func fig5() *Digraph {
+	g := New(5)
+	g.AddArc(1, 0)
+	g.AddArc(2, 1)
+	g.AddArc(2, 0) // transitive
+	g.AddArc(3, 2)
+	g.AddArc(3, 0) // transitive
+	g.AddArc(4, 0)
+	return g
+}
+
+func TestAddArcDedup(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	g.AddArc(1, 1) // self-loop ignored
+	if got := g.NumArcs(); got != 1 {
+		t.Fatalf("NumArcs = %d, want 1", got)
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) || g.HasArc(1, 1) {
+		t.Fatal("HasArc wrong")
+	}
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddArc(0, 5)
+}
+
+func TestReachable(t *testing.T) {
+	g := fig5()
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{3, 0, true}, {3, 1, true}, {2, 0, true}, {4, 0, true},
+		{0, 3, false}, {4, 1, false}, {1, 2, false}, {3, 4, false},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.u, c.v); got != c.want {
+			t.Errorf("Reachable(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestTopoSortAndCycle(t *testing.T) {
+	g := fig5()
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("fig5 reported cyclic")
+	}
+	pos := make(map[int]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, a := range g.Arcs() {
+		if pos[a[0]] >= pos[a[1]] {
+			t.Fatalf("arc %v violates topo order %v", a, order)
+		}
+	}
+	if g.HasCycle() {
+		t.Fatal("HasCycle true for DAG")
+	}
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("FindCycle = %v for DAG", c)
+	}
+
+	g.AddArc(0, 3)
+	if !g.HasCycle() {
+		t.Fatal("cycle not detected")
+	}
+	cyc := g.FindCycle()
+	if cyc == nil || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("FindCycle = %v, want closed walk", cyc)
+	}
+	for i := 0; i+1 < len(cyc); i++ {
+		if !g.HasArc(cyc[i], cyc[i+1]) {
+			t.Fatalf("cycle %v uses missing arc %d→%d", cyc, cyc[i], cyc[i+1])
+		}
+	}
+}
+
+func TestTransitiveClosureAndReduction(t *testing.T) {
+	g := fig5()
+	cl := g.TransitiveClosure()
+	if !cl.HasArc(3, 1) || !cl.HasArc(3, 0) || cl.HasArc(0, 3) {
+		t.Fatal("closure wrong")
+	}
+	red := g.TransitiveReduction()
+	wantArcs := map[[2]int]bool{{1, 0}: true, {2, 1}: true, {3, 2}: true, {4, 0}: true}
+	arcs := red.Arcs()
+	if len(arcs) != len(wantArcs) {
+		t.Fatalf("reduction arcs %v, want %v", arcs, wantArcs)
+	}
+	for _, a := range arcs {
+		if !wantArcs[a] {
+			t.Fatalf("unexpected reduction arc %v", a)
+		}
+	}
+	// Reduction preserves reachability.
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if g.Reachable(u, v) != red.Reachable(u, v) {
+				t.Fatalf("reachability differs at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestTransitiveReductionPanicsOnCycle(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.TransitiveReduction()
+}
+
+func TestIsSemiTree(t *testing.T) {
+	chain := New(3)
+	chain.AddArc(2, 1)
+	chain.AddArc(1, 0)
+	if !chain.IsSemiTree() {
+		t.Fatal("chain should be a semi-tree")
+	}
+
+	vee := New(3) // 1→0 ← 2: two children of one parent
+	vee.AddArc(1, 0)
+	vee.AddArc(2, 0)
+	if !vee.IsSemiTree() {
+		t.Fatal("vee should be a semi-tree")
+	}
+
+	anti := New(2)
+	anti.AddArc(0, 1)
+	anti.AddArc(1, 0)
+	if anti.IsSemiTree() {
+		t.Fatal("antiparallel pair is not a semi-tree")
+	}
+
+	diamond := New(4) // 3→1→0, 3→2→0: two undirected paths 3..0
+	diamond.AddArc(3, 1)
+	diamond.AddArc(3, 2)
+	diamond.AddArc(1, 0)
+	diamond.AddArc(2, 0)
+	if diamond.IsSemiTree() {
+		t.Fatal("diamond is not a semi-tree")
+	}
+
+	empty := New(4)
+	if !empty.IsSemiTree() {
+		t.Fatal("empty graph is a (degenerate) semi-tree")
+	}
+}
+
+// TestIsSemiTreeMatchesDefinition cross-checks the union-find
+// implementation against the definitional path count on random graphs.
+func TestIsSemiTreeMatchesDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(6)
+		g := New(n)
+		arcs := r.Intn(n * 2)
+		for i := 0; i < arcs; i++ {
+			g.AddArc(r.Intn(n), r.Intn(n))
+		}
+		want := true
+	outer:
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g.undirectedPathCount(u, v, 2) > 1 {
+					want = false
+					break outer
+				}
+			}
+		}
+		if got := g.IsSemiTree(); got != want {
+			t.Fatalf("trial %d: IsSemiTree = %v, definition = %v, arcs %v", trial, got, want, g.Arcs())
+		}
+	}
+}
+
+func TestIsTransitiveSemiTree(t *testing.T) {
+	if !fig5().IsTransitiveSemiTree() {
+		t.Fatal("fig5 should be a TST")
+	}
+	// A diamond's reduction is itself, which is not a semi-tree.
+	diamond := New(4)
+	diamond.AddArc(3, 1)
+	diamond.AddArc(3, 2)
+	diamond.AddArc(1, 0)
+	diamond.AddArc(2, 0)
+	if diamond.IsTransitiveSemiTree() {
+		t.Fatal("diamond should not be a TST")
+	}
+	// Adding the short-cut arc 3→0 does not help: the reduction still has
+	// two undirected paths 3..0.
+	diamond.AddArc(3, 0)
+	if diamond.IsTransitiveSemiTree() {
+		t.Fatal("diamond+shortcut should not be a TST")
+	}
+	// Cyclic graphs are never TSTs.
+	cyc := New(2)
+	cyc.AddArc(0, 1)
+	cyc.AddArc(1, 0)
+	if cyc.IsTransitiveSemiTree() {
+		t.Fatal("cycle should not be a TST")
+	}
+	// A directed tree with all transitive arcs added is the canonical TST.
+	full := New(4)
+	full.AddArc(3, 2)
+	full.AddArc(3, 1)
+	full.AddArc(3, 0)
+	full.AddArc(2, 1)
+	full.AddArc(2, 0)
+	full.AddArc(1, 0)
+	if !full.IsTransitiveSemiTree() {
+		t.Fatal("full chain closure should be a TST")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := fig5()
+	got := g.CriticalPath(3, 0)
+	want := []int{3, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("CriticalPath(3,0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CriticalPath(3,0) = %v, want %v", got, want)
+		}
+	}
+	if p := g.CriticalPath(4, 1); p != nil {
+		t.Fatalf("CriticalPath(4,1) = %v, want nil", p)
+	}
+	if p := g.CriticalPath(0, 3); p != nil {
+		t.Fatalf("CriticalPath(0,3) = %v, want nil (wrong direction)", p)
+	}
+}
+
+func TestHigher(t *testing.T) {
+	g := fig5()
+	if !g.Higher(0, 3) {
+		t.Fatal("0 should be higher than 3")
+	}
+	if g.Higher(3, 0) {
+		t.Fatal("3 should not be higher than 0")
+	}
+	if g.Higher(1, 4) || g.Higher(4, 1) {
+		t.Fatal("1 and 4 are incomparable")
+	}
+}
+
+func TestUndirectedCriticalPath(t *testing.T) {
+	g := fig5()
+	got := g.UndirectedCriticalPath(4, 3)
+	want := []int{4, 0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("UCP(4,3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UCP(4,3) = %v, want %v", got, want)
+		}
+	}
+	if p := g.UndirectedCriticalPath(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("UCP(2,2) = %v, want [2]", p)
+	}
+	disc := New(3)
+	disc.AddArc(1, 0)
+	if p := disc.UndirectedCriticalPath(0, 2); p != nil {
+		t.Fatalf("UCP across components = %v, want nil", p)
+	}
+}
+
+func TestCriticalArcs(t *testing.T) {
+	g := fig5()
+	arcs := g.CriticalArcs()
+	if len(arcs) != 4 {
+		t.Fatalf("CriticalArcs = %v, want 4 arcs", arcs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := fig5()
+	c := g.Clone()
+	c.AddArc(0, 4)
+	if g.HasArc(0, 4) {
+		t.Fatal("Clone aliases original")
+	}
+	if c.NumArcs() != g.NumArcs()+1 {
+		t.Fatal("Clone missing arcs")
+	}
+}
+
+// TestRandomTSTInvariants: for random DAGs, if IsTransitiveSemiTree holds
+// then between any ordered pair there is at most one critical path and at
+// most one UCP, and every critical path is composed of critical arcs.
+func TestRandomTSTInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tsts := 0
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + r.Intn(5)
+		g := New(n)
+		for i := 0; i < r.Intn(2*n); i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u > v {
+				u, v = v, u // keep it acyclic (arcs low→high index)
+			}
+			g.AddArc(u, v)
+		}
+		if !g.IsTransitiveSemiTree() {
+			continue
+		}
+		tsts++
+		red := g.TransitiveReduction()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				p := g.CriticalPath(u, v)
+				if p == nil {
+					continue
+				}
+				if p[0] != u || p[len(p)-1] != v {
+					t.Fatalf("critical path %v does not join %d..%d", p, u, v)
+				}
+				for i := 0; i+1 < len(p); i++ {
+					if !red.HasArc(p[i], p[i+1]) {
+						t.Fatalf("critical path %v uses non-critical arc", p)
+					}
+				}
+			}
+		}
+	}
+	if tsts == 0 {
+		t.Fatal("no TSTs generated; test vacuous")
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// arcList is a quick-generated digraph.
+type arcList struct {
+	n    int
+	arcs [][2]int
+}
+
+// Generate implements quick.Generator.
+func (arcList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(7)
+	m := r.Intn(2 * n)
+	a := arcList{n: n, arcs: make([][2]int, m)}
+	for i := range a.arcs {
+		a.arcs[i] = [2]int{r.Intn(n), r.Intn(n)}
+	}
+	return reflect.ValueOf(a)
+}
+
+func (a arcList) build() *Digraph {
+	g := New(a.n)
+	for _, arc := range a.arcs {
+		g.AddArc(arc[0], arc[1])
+	}
+	return g
+}
+
+// TestQuickReductionPreservesReachability: for any acyclic digraph, the
+// transitive reduction has exactly the same reachability relation and is
+// minimal (removing any arc changes reachability).
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	f := func(a arcList) bool {
+		g := a.build()
+		if g.HasCycle() {
+			return true // reduction undefined; skip
+		}
+		red := g.TransitiveReduction()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if g.Reachable(u, v) != red.Reachable(u, v) {
+					return false
+				}
+			}
+		}
+		// Minimality: dropping any reduction arc loses reachability.
+		for _, arc := range red.Arcs() {
+			smaller := New(g.N())
+			for _, other := range red.Arcs() {
+				if other != arc {
+					smaller.AddArc(other[0], other[1])
+				}
+			}
+			if smaller.Reachable(arc[0], arc[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopoSortValid: any topological order returned is consistent
+// with every arc, and TopoSort fails exactly when FindCycle finds one.
+func TestQuickTopoSortValid(t *testing.T) {
+	f := func(a arcList) bool {
+		g := a.build()
+		order, ok := g.TopoSort()
+		if ok != (g.FindCycle() == nil) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		pos := make(map[int]int, len(order))
+		for i, x := range order {
+			pos[x] = i
+		}
+		for _, arc := range g.Arcs() {
+			if pos[arc[0]] >= pos[arc[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTSTHasUniqueCriticalPaths: in any generated TST, every ordered
+// pair has at most one critical path and every pair in one weak component
+// has exactly one UCP.
+func TestQuickTSTHasUniqueCriticalPaths(t *testing.T) {
+	f := func(a arcList) bool {
+		g := a.build()
+		if !g.IsTransitiveSemiTree() {
+			return true
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if u == v {
+					continue
+				}
+				p := g.CriticalPath(u, v)
+				if p != nil && (p[0] != u || p[len(p)-1] != v) {
+					return false
+				}
+				// Higher is consistent with critical-path existence.
+				if g.Higher(v, u) != (p != nil) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestHistogramReservoirOverflow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < reservoirCap*3; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if h.Count() != int64(reservoirCap*3) {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Quantiles remain answerable.
+	if h.Quantile(0.5) <= 0 {
+		t.Fatal("median lost after overflow")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure 10", "engine", "reads/txn", "blocked")
+	tab.AddRow("HDD", 0.0, 0)
+	tab.AddRow("2PL", 6.25, 120)
+	out := tab.String()
+	if !strings.Contains(out, "Figure 10") || !strings.Contains(out, "engine") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	if !strings.Contains(out, "6.25") || !strings.Contains(out, "HDD") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: separator row as wide as the header row.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		123.456: "123.5",
+		12.345:  "12.35",
+		0.1234:  "0.1234",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Fatal("Ratio broken")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+}

@@ -1,0 +1,216 @@
+package mvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// Checkpointing (§7.3 "maintaining multiple versions of the database").
+//
+// A checkpoint captures every *committed* version; pending versions belong
+// to in-flight transactions and are discarded on recovery, which is
+// exactly the semantics the engines need — an uncommitted transaction that
+// did not survive the checkpoint simply never happened. Read-timestamp
+// registers are transient synchronization state and are not captured: a
+// recovered store starts a fresh timestamp epoch above the checkpoint's
+// high-water mark.
+//
+// The format is a length-prefixed binary stream with a trailing CRC:
+//
+//	magic "HDDCKPT1"
+//	uvarint granuleCount
+//	per granule: segment, key, uvarint versionCount,
+//	             per version: ts, commitTS, uvarint len, bytes
+//	crc32 (Castagnoli) of everything above
+const checkpointMagic = "HDDCKPT1"
+
+// WriteCheckpoint serializes all committed versions to w. It returns the
+// highest write timestamp captured; callers restart their logical clocks
+// above it.
+func (s *Store) WriteCheckpoint(w io.Writer) (vclock.Time, error) {
+	// Collect a stable snapshot of granule ids first, then serialize each
+	// chain under its own lock.
+	type entry struct {
+		g schema.GranuleID
+		c *chain
+	}
+	var entries []entry
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for g, c := range sh.chains {
+			entries = append(entries, entry{g, c})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].g, entries[j].g
+		if a.Segment != b.Segment {
+			return a.Segment < b.Segment
+		}
+		return a.Key < b.Key
+	})
+
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var high vclock.Time
+
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return 0, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(entries))); err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		if err := writeUvarint(uint64(e.g.Segment)); err != nil {
+			return 0, err
+		}
+		if err := writeUvarint(e.g.Key); err != nil {
+			return 0, err
+		}
+		e.c.mu.Lock()
+		var committed []version
+		for _, v := range e.c.versions {
+			if v.state == Committed {
+				committed = append(committed, version{ts: v.ts, commitTS: v.commitTS, value: append([]byte(nil), v.value...)})
+				if v.ts > high {
+					high = v.ts
+				}
+				if v.commitTS > high {
+					high = v.commitTS
+				}
+			}
+		}
+		e.c.mu.Unlock()
+		if err := writeUvarint(uint64(len(committed))); err != nil {
+			return 0, err
+		}
+		for _, v := range committed {
+			if err := writeUvarint(uint64(v.ts)); err != nil {
+				return 0, err
+			}
+			if err := writeUvarint(uint64(v.commitTS)); err != nil {
+				return 0, err
+			}
+			if err := writeUvarint(uint64(len(v.value))); err != nil {
+				return 0, err
+			}
+			if _, err := bw.Write(v.value); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return 0, err
+	}
+	return high, nil
+}
+
+// ReadCheckpoint deserializes a checkpoint into an empty Store, returning
+// the store and the highest timestamp it contains. It verifies the magic
+// and the trailing checksum and fails on any corruption. The whole
+// checkpoint is buffered for verification first — the store it describes
+// is in-memory anyway.
+func ReadCheckpoint(r io.Reader) (*Store, vclock.Time, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mvstore: reading checkpoint: %w", err)
+	}
+	if len(data) < len(checkpointMagic)+4 {
+		return nil, 0, fmt.Errorf("mvstore: checkpoint too short (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(sum) {
+		return nil, 0, fmt.Errorf("mvstore: checkpoint checksum mismatch")
+	}
+	br := bytes.NewReader(payload)
+
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("mvstore: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, 0, fmt.Errorf("mvstore: bad checkpoint magic %q", magic)
+	}
+	s := New()
+	var high vclock.Time
+	granules, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+	}
+	for i := uint64(0); i < granules; i++ {
+		seg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+		}
+		key, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+		}
+		g := schema.GranuleID{Segment: schema.SegmentID(seg), Key: key}
+		nvers, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+		}
+		c := s.chainOf(g, true)
+		var prev vclock.Time
+		for v := uint64(0); v < nvers; v++ {
+			ts, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+			}
+			commitTS, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+			}
+			vlen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+			}
+			if vlen > 1<<30 {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint value length %d implausible", vlen)
+			}
+			val := make([]byte, vlen)
+			if _, err := io.ReadFull(br, val); err != nil {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
+			}
+			if vclock.Time(ts) <= prev && v > 0 {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint chain for %v out of order", g)
+			}
+			prev = vclock.Time(ts)
+			c.versions = append(c.versions, version{
+				ts: vclock.Time(ts), commitTS: vclock.Time(commitTS),
+				value: val, state: Committed,
+			})
+			if vclock.Time(ts) > high {
+				high = vclock.Time(ts)
+			}
+			if vclock.Time(commitTS) > high {
+				high = vclock.Time(commitTS)
+			}
+		}
+	}
+	if br.Len() != 0 {
+		return nil, 0, fmt.Errorf("mvstore: %d trailing bytes in checkpoint", br.Len())
+	}
+	return s, high, nil
+}

@@ -1,0 +1,469 @@
+// Package mvstore is the multi-version storage substrate shared by the
+// multi-version concurrency-control engines (HDD Protocols A/B/C, MVTO,
+// MV2PL snapshots).
+//
+// Each granule keeps a chain of versions ordered by write timestamp — in
+// this reproduction, the initiation time of the creating transaction, per
+// the paper's §4 notation TS(d^v) = I(writer). Versions are installed
+// pending, then committed or discarded; committed versions optionally carry
+// a read-timestamp register (the thing Protocols A and C avoid touching).
+// Watermark-based garbage collection implements the §7.3 maintenance duty.
+package mvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// State is a version's lifecycle state.
+type State uint8
+
+const (
+	// Pending versions are installed by an active transaction; invisible
+	// to committed-read paths.
+	Pending State = iota
+	// Committed versions are visible.
+	Committed
+)
+
+// Version is one entry in a granule's chain.
+type version struct {
+	ts    vclock.Time // write timestamp = writer's initiation time
+	value []byte
+	state State
+	// commitTS is the instant the version committed (set by CommitAt;
+	// zero when committed via Commit). Commit-time visibility is what the
+	// MV2PL baseline snapshots by; the HDD protocols never consult it.
+	commitTS vclock.Time
+	// readTS is the largest read timestamp registered against this
+	// version (Protocol B / MVTO bookkeeping). Zero if never registered.
+	readTS vclock.Time
+	// done is closed when the version leaves Pending (commit or abort);
+	// nil once resolved.
+	done chan struct{}
+}
+
+// VersionInfo is an exported snapshot of one version, for diagnostics and
+// tests.
+type VersionInfo struct {
+	TS     vclock.Time
+	State  State
+	ReadTS vclock.Time
+	Len    int
+}
+
+const numShards = 64
+
+type shard struct {
+	mu     sync.Mutex
+	chains map[schema.GranuleID]*chain
+}
+
+type chain struct {
+	mu sync.Mutex
+	// versions is ordered by ts ascending. Aborted versions are removed.
+	versions []version
+	// initRTS is the largest read timestamp registered against the
+	// *initial* (absent) version of the granule. A registered read that
+	// found nothing must still block an older writer from creating the
+	// first version afterwards, or a same-class reader/writer pair can
+	// cycle.
+	initRTS vclock.Time
+}
+
+// Store is a sharded multi-version key/value store. It is safe for
+// concurrent use.
+type Store struct {
+	shards [numShards]shard
+
+	// Stats, maintained atomically.
+	versionsInstalled atomic.Int64
+	versionsAborted   atomic.Int64
+	versionsPruned    atomic.Int64
+	readRegistrations atomic.Int64
+}
+
+// New returns an empty Store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[schema.GranuleID]*chain)
+	}
+	return s
+}
+
+func (s *Store) shardOf(g schema.GranuleID) *shard {
+	h := uint64(g.Segment)*0x9e3779b97f4a7c15 ^ g.Key*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &s.shards[h%numShards]
+}
+
+func (s *Store) chainOf(g schema.GranuleID, create bool) *chain {
+	sh := s.shardOf(g)
+	sh.mu.Lock()
+	c := sh.chains[g]
+	if c == nil && create {
+		c = &chain{}
+		sh.chains[g] = c
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// locate returns the index of the latest version with ts < bound, or -1.
+func (c *chain) locate(bound vclock.Time) int {
+	return sort.Search(len(c.versions), func(i int) bool { return c.versions[i].ts >= bound }) - 1
+}
+
+// ErrVersionExists is returned when installing a version whose timestamp is
+// already present in the chain (one write per granule per transaction is
+// the unit of versioning; engines buffer intra-transaction overwrites).
+var ErrVersionExists = fmt.Errorf("mvstore: version with this timestamp already exists")
+
+// InstallPending adds a pending version of g with write timestamp ts.
+func (s *Store) InstallPending(g schema.GranuleID, ts vclock.Time, value []byte) error {
+	c := s.chainOf(g, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(ts + 1)
+	if i >= 0 && c.versions[i].ts == ts {
+		return ErrVersionExists
+	}
+	v := version{ts: ts, value: append([]byte(nil), value...), state: Pending, done: make(chan struct{})}
+	c.versions = append(c.versions, version{})
+	copy(c.versions[i+2:], c.versions[i+1:])
+	c.versions[i+1] = v
+	s.versionsInstalled.Add(1)
+	return nil
+}
+
+// Commit flips the pending version of g at ts to Committed.
+func (s *Store) Commit(g schema.GranuleID, ts vclock.Time) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		panic(fmt.Sprintf("mvstore: commit of unknown granule %v", g))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(ts + 1)
+	if i < 0 || c.versions[i].ts != ts || c.versions[i].state != Pending {
+		panic(fmt.Sprintf("mvstore: commit of missing pending version %v@%d", g, ts))
+	}
+	c.versions[i].state = Committed
+	close(c.versions[i].done)
+	c.versions[i].done = nil
+}
+
+// CommitAt flips the pending version of g at ts to Committed, stamping it
+// with the given commit instant. Engines whose readers snapshot by commit
+// time (MV2PL) use this in place of Commit.
+func (s *Store) CommitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		panic(fmt.Sprintf("mvstore: commit of unknown granule %v", g))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(ts + 1)
+	if i < 0 || c.versions[i].ts != ts || c.versions[i].state != Pending {
+		panic(fmt.Sprintf("mvstore: commit of missing pending version %v@%d", g, ts))
+	}
+	c.versions[i].state = Committed
+	c.versions[i].commitTS = commitTS
+	close(c.versions[i].done)
+	c.versions[i].done = nil
+}
+
+// ReadCommittedAsOf returns the latest version of g committed strictly
+// before the given commit instant — the MV2PL read-only snapshot rule. It
+// requires versions to have been committed with CommitAt and relies on
+// per-granule commit order matching chain order, which strict 2PL
+// guarantees (exclusive locks serialize writers of a granule).
+func (s *Store) ReadCommittedAsOf(g schema.GranuleID, commitBound vclock.Time) (value []byte, ts vclock.Time, ok bool) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		v := &c.versions[i]
+		if v.state == Committed && v.commitTS < commitBound {
+			return append([]byte(nil), v.value...), v.ts, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Abort removes the pending version of g at ts.
+func (s *Store) Abort(g schema.GranuleID, ts vclock.Time) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(ts + 1)
+	if i < 0 || c.versions[i].ts != ts || c.versions[i].state != Pending {
+		return
+	}
+	close(c.versions[i].done)
+	c.versions = append(c.versions[:i], c.versions[i+1:]...)
+	s.versionsAborted.Add(1)
+}
+
+// ReadCommittedBefore returns the value and timestamp of the latest
+// committed version of g with ts < bound. It never blocks and never
+// registers the read — this is the access path of Protocols A and C, whose
+// whole point (§4.2, §5.2) is that it mutates nothing.
+//
+// ok is false if no committed version precedes bound (the granule is
+// unwritten as of the bound — engines surface this as "not found").
+func (s *Store) ReadCommittedBefore(g schema.GranuleID, bound vclock.Time) (value []byte, ts vclock.Time, ok bool) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := c.locate(bound); i >= 0; i-- {
+		if c.versions[i].state == Committed {
+			return append([]byte(nil), c.versions[i].value...), c.versions[i].ts, true
+		}
+	}
+	return nil, 0, false
+}
+
+// ReadRegistered performs an MVTO read (Protocol B): it returns the latest
+// version of g with ts < bound, waiting for that version to resolve if it
+// is still pending (wait-for-commit MVTO avoids cascading aborts), and
+// registers the reader's timestamp against the version it returns.
+//
+// The returned wait function is nil when the read completed immediately;
+// otherwise the caller must invoke it (it blocks until the pending version
+// resolves) and then retry, and ts reports the pending version's write
+// timestamp so callers with non-age-ordered bounds (basic TO's "latest
+// version" reads) can reject a read-too-late instead of waiting — waiting
+// on a *younger* pending writer can deadlock, since that writer's own reads
+// may be waiting the other way. This two-phase shape lets engines count
+// blocked reads — a quantity the experiments report — without holding
+// chain locks across waits.
+func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) (value []byte, ts vclock.Time, ok bool, wait func()) {
+	c := s.chainOf(g, true)
+	c.mu.Lock()
+	i := c.locate(bound)
+	if i < 0 {
+		if readerTS > c.initRTS {
+			c.initRTS = readerTS
+			s.readRegistrations.Add(1)
+		}
+		c.mu.Unlock()
+		return nil, 0, false, nil
+	}
+	v := &c.versions[i]
+	if v.state == Pending {
+		done := v.done
+		pendingTS := v.ts
+		c.mu.Unlock()
+		return nil, pendingTS, false, func() { <-done }
+	}
+	if readerTS > v.readTS {
+		v.readTS = readerTS
+		s.readRegistrations.Add(1)
+	}
+	val, vts := append([]byte(nil), v.value...), v.ts
+	c.mu.Unlock()
+	return val, vts, true, nil
+}
+
+// WriteCheck validates an MVTO write at writerTS against g's chain,
+// per Reed'78 as adopted by Protocol B:
+//
+//   - if the predecessor version (latest with ts < writerTS) has a
+//     registered read timestamp > writerTS, the write must be rejected —
+//     some later reader already read the predecessor, and interposing this
+//     version would invalidate that read;
+//   - if any version (committed or pending) with ts > writerTS exists, the
+//     write is also rejected ("too late"): this store keeps the exactness
+//     of the §2 dependency graph rather than applying the Thomas write
+//     rule.
+//
+// It returns nil if the write is admissible.
+func (s *Store) WriteCheck(g schema.GranuleID, writerTS vclock.Time) error {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(writerTS)
+	if i >= 0 && c.versions[i].readTS > writerTS {
+		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.versions[i].readTS, Reason: "predecessor read by a later transaction"}
+	}
+	if i < 0 && c.initRTS > writerTS {
+		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.initRTS, Reason: "initial version read by a later transaction"}
+	}
+	if i+1 < len(c.versions) {
+		return &RejectedError{Granule: g, WriterTS: writerTS, Reason: "a newer version already exists"}
+	}
+	return nil
+}
+
+// InstallChecked atomically performs WriteCheck and, if admissible,
+// installs a pending version — the write path of Protocol B and MVTO.
+// Splitting check from install would let a concurrent reader register a
+// read between them; one critical section keeps the engines' conflict
+// accounting exact.
+func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value []byte) error {
+	c := s.chainOf(g, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(writerTS)
+	if i >= 0 && c.versions[i].readTS > writerTS {
+		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.versions[i].readTS, Reason: "predecessor read by a later transaction"}
+	}
+	if i < 0 && c.initRTS > writerTS {
+		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.initRTS, Reason: "initial version read by a later transaction"}
+	}
+	if i+1 < len(c.versions) {
+		if c.versions[i+1].ts == writerTS {
+			return ErrVersionExists
+		}
+		return &RejectedError{Granule: g, WriterTS: writerTS, Reason: "a newer version already exists"}
+	}
+	v := version{ts: writerTS, value: append([]byte(nil), value...), state: Pending, done: make(chan struct{})}
+	c.versions = append(c.versions, v)
+	s.versionsInstalled.Add(1)
+	return nil
+}
+
+// UpdatePending replaces the value of the pending version of g at ts —
+// a transaction overwriting its own earlier write. It panics if no such
+// pending version exists (engines only call it for granules they installed).
+func (s *Store) UpdatePending(g schema.GranuleID, ts vclock.Time, value []byte) {
+	c := s.chainOf(g, false)
+	if c == nil {
+		panic(fmt.Sprintf("mvstore: update of unknown granule %v", g))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.locate(ts + 1)
+	if i < 0 || c.versions[i].ts != ts || c.versions[i].state != Pending {
+		panic(fmt.Sprintf("mvstore: update of missing pending version %v@%d", g, ts))
+	}
+	c.versions[i].value = append([]byte(nil), value...)
+}
+
+// RejectedError reports an MVTO write rejection.
+type RejectedError struct {
+	Granule  schema.GranuleID
+	WriterTS vclock.Time
+	ReadTS   vclock.Time
+	Reason   string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("mvstore: write of %v at %d rejected: %s", e.Granule, e.WriterTS, e.Reason)
+}
+
+// GC prunes every chain against the watermark: all versions with
+// ts < watermark are dropped except the latest committed one, which remains
+// readable for bounds at or below the watermark. It returns the number of
+// versions pruned. Callers must choose watermarks no later than any bound a
+// future read may use (the HDD engine uses the minimum of all active
+// initiation times and the released time wall).
+func (s *Store) GC(watermark vclock.Time) int {
+	pruned := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		chains := make([]*chain, 0, len(sh.chains))
+		for _, c := range sh.chains {
+			chains = append(chains, c)
+		}
+		sh.mu.Unlock()
+		for _, c := range chains {
+			c.mu.Lock()
+			// Find the latest committed version below the watermark; keep
+			// it, drop all earlier versions.
+			keep := -1
+			for i := c.locate(watermark); i >= 0; i-- {
+				if c.versions[i].state == Committed {
+					keep = i
+					break
+				}
+			}
+			if keep > 0 {
+				// Pending versions below keep cannot exist with a correct
+				// watermark (their writers would still be active); guard
+				// anyway by only dropping committed prefix entries.
+				cut := 0
+				for cut < keep && c.versions[cut].state == Committed {
+					cut++
+				}
+				if cut > 0 {
+					c.versions = append([]version(nil), c.versions[cut:]...)
+					pruned += cut
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+	s.versionsPruned.Add(int64(pruned))
+	return pruned
+}
+
+// Versions returns a snapshot of g's chain for tests and diagnostics.
+func (s *Store) Versions(g schema.GranuleID) []VersionInfo {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VersionInfo, len(c.versions))
+	for i, v := range c.versions {
+		out[i] = VersionInfo{TS: v.ts, State: v.state, ReadTS: v.readTS, Len: len(v.value)}
+	}
+	return out
+}
+
+// Stats reports cumulative store counters.
+type Stats struct {
+	VersionsInstalled int64
+	VersionsAborted   int64
+	VersionsPruned    int64
+	ReadRegistrations int64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		VersionsInstalled: s.versionsInstalled.Load(),
+		VersionsAborted:   s.versionsAborted.Load(),
+		VersionsPruned:    s.versionsPruned.Load(),
+		ReadRegistrations: s.readRegistrations.Load(),
+	}
+}
+
+// TotalVersions counts retained versions across all granules (O(n); for
+// tests and the GC ablation experiment).
+func (s *Store) TotalVersions() int {
+	total := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, c := range sh.chains {
+			c.mu.Lock()
+			total += len(c.versions)
+			c.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,70 @@
+package mvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+func benchStore(chainLen int) (*Store, schema.GranuleID, vclock.Time) {
+	s := New()
+	g := schema.GranuleID{Segment: 0, Key: 1}
+	var last vclock.Time
+	for i := 1; i <= chainLen; i++ {
+		ts := vclock.Time(i * 2)
+		_ = s.InstallPending(g, ts, []byte{byte(i)})
+		s.Commit(g, ts)
+		last = ts
+	}
+	return s, g, last
+}
+
+func BenchmarkReadCommittedBefore(b *testing.B) {
+	for _, n := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			s, g, last := benchStore(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := s.ReadCommittedBefore(g, last+1); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadRegistered(b *testing.B) {
+	s, g, last := benchStore(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, ok, wait := s.ReadRegistered(g, last+1, last+1)
+		if !ok || wait != nil {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkInstallCheckedCommit(b *testing.B) {
+	s := New()
+	g := schema.GranuleID{Segment: 0, Key: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := vclock.Time(i + 1)
+		if err := s.InstallChecked(g, ts, []byte{1}); err != nil {
+			b.Fatal(err)
+		}
+		s.Commit(g, ts)
+	}
+}
+
+func BenchmarkGC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, _, last := benchStore(512)
+		b.StartTimer()
+		s.GC(last)
+	}
+}

@@ -1,0 +1,140 @@
+package naive
+
+import (
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+)
+
+func TestNaiveLockingDeadlock(t *testing.T) {
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: LockingNoReadLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := gr(0, 1), gr(0, 2)
+	t1, _ := eng.Begin(0)
+	t2, _ := eng.Begin(0)
+	if err := t1.Write(a, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(b, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- t1.Write(b, []byte("x")) }()
+	time.Sleep(20 * time.Millisecond)
+	err2 := t2.Write(a, []byte("y"))
+	if !cc.IsAbort(err2) || cc.AbortReason(err2) != cc.ReasonDeadlock {
+		t.Fatalf("err = %v, want deadlock abort", err2)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Deadlocks != 1 {
+		t.Fatalf("Deadlocks = %d", eng.Stats().Deadlocks)
+	}
+}
+
+func TestNaiveTOWriteRejectionInRoot(t *testing.T) {
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: TimestampNoReadStamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	young, _ := eng.Begin(0)
+	if err := young.Write(gr(0, 3), []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := young.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second writer that began earlier... construct via two begins.
+	old, _ := eng.Begin(0)
+	younger, _ := eng.Begin(0)
+	if err := younger.Write(gr(0, 4), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err2 := old.Write(gr(0, 4), []byte("late"))
+	if !cc.IsAbort(err2) || cc.AbortReason(err2) != cc.ReasonWriteRejected {
+		t.Fatalf("err = %v, want write-rejected", err2)
+	}
+	if eng.Stats().RejectedWrites != 1 {
+		t.Fatalf("RejectedWrites = %d", eng.Stats().RejectedWrites)
+	}
+}
+
+func TestNaiveOverwriteOwnWrite(t *testing.T) {
+	for _, flavor := range []Flavor{LockingNoReadLocks, TimestampNoReadStamps} {
+		eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: flavor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, _ := eng.Begin(0)
+		if err := tx.Write(gr(0, 9), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(gr(0, 9), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := tx.Read(gr(0, 9)); err != nil || string(v) != "b" {
+			t.Fatalf("flavor %d: %q %v", flavor, v, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNaiveAbortDiscards(t *testing.T) {
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: TimestampNoReadStamps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := eng.Begin(0)
+	if err := tx.Write(gr(0, 11), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	ro, _ := eng.BeginReadOnly()
+	if v, _ := ro.Read(gr(0, 11)); v != nil {
+		t.Fatalf("aborted write visible: %q", v)
+	}
+	_ = ro.Commit()
+}
+
+func TestNaiveOpsAfterDone(t *testing.T) {
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: LockingNoReadLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := eng.Begin(0)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != cc.ErrTxnDone {
+		t.Fatalf("double commit = %v", err)
+	}
+	if _, err := tx.Read(gr(0, 1)); err != cc.ErrTxnDone {
+		t.Fatalf("read after done = %v", err)
+	}
+	if err := tx.Write(gr(0, 1), nil); err != cc.ErrTxnDone {
+		t.Fatalf("write after done = %v", err)
+	}
+	if _, err := eng.Begin(77); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if eng.Clock() == nil {
+		t.Fatal("nil clock")
+	}
+}

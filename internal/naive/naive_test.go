@@ -1,0 +1,214 @@
+package naive
+
+import (
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/core"
+	"hdd/internal/sched"
+	"hdd/internal/schema"
+)
+
+// inventoryPart is the 3-level slice of the paper's application used by
+// Figures 3 and 4: events (D0), inventory (D1), on-order (D2).
+func inventoryPart(t testing.TB) *schema.Partition {
+	t.Helper()
+	p, err := schema.NewPartition(
+		[]string{"events", "inventory", "on-order"},
+		[]schema.ClassSpec{
+			{Name: "type-1", Writes: 0},
+			{Name: "type-2", Writes: 1, Reads: []schema.SegmentID{0}},
+			{Name: "type-3", Writes: 2, Reads: []schema.SegmentID{0, 1}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func gr(seg, key int) schema.GranuleID {
+	return schema.GranuleID{Segment: schema.SegmentID(seg), Key: uint64(key)}
+}
+
+// runPaperTiming drives the Figure 3/4 interleaving against any engine:
+//
+//	t3 (type-3) begins and reads the merchandise-arrival granule — before
+//	   the arrival is recorded;
+//	t1 (type-1) records arrival y and commits;
+//	t2 (type-2) folds y into the inventory level and commits;
+//	t3 then reads the inventory level and places an order.
+//
+// Under an engine without cross-class read control, t3 sees t2's level
+// (which includes y) while having missed y itself — the dependency cycle
+// t1 → t3 → t2 → t1. Under HDD, t3's activity-link thresholds pin both
+// reads before t1, and the schedule stays serializable.
+func runPaperTiming(t *testing.T, eng cc.Engine) {
+	t.Helper()
+	gEvent, gLevel, gOrder := gr(0, 1), gr(1, 1), gr(2, 1)
+
+	t3, err := eng.Begin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t3.Read(gEvent); err != nil {
+		t.Fatalf("t3 early event read: %v", err)
+	}
+
+	t1, err := eng.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(gEvent, []byte("arrival-y")); err != nil {
+		t.Fatalf("t1 write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+
+	t2, err := eng.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(gEvent); err != nil {
+		t.Fatalf("t2 event read: %v", err)
+	}
+	if err := t2.Write(gLevel, []byte("level-with-y")); err != nil {
+		t.Fatalf("t2 write: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+
+	if _, err := t3.Read(gLevel); err != nil {
+		t.Fatalf("t3 level read: %v", err)
+	}
+	if err := t3.Write(gOrder, []byte("order")); err != nil {
+		t.Fatalf("t3 write: %v", err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatalf("t3 commit: %v", err)
+	}
+}
+
+// TestFigure3Anomaly: 2PL without cross-class read locks admits the
+// paper's non-serializable schedule.
+func TestFigure3Anomaly(t *testing.T) {
+	rec := sched.NewRecorder()
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: LockingNoReadLocks, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPaperTiming(t, eng)
+	g := rec.Build()
+	if g.Serializable() {
+		t.Fatal("2PL without read locks should have admitted the Figure 3 anomaly")
+	}
+	cyc := g.FindCycle()
+	if len(cyc)-1 != 3 {
+		t.Fatalf("cycle = %v, want the 3-transaction cycle", cyc)
+	}
+}
+
+// TestFigure4Anomaly: TO without cross-class read timestamps admits the
+// analogous schedule.
+func TestFigure4Anomaly(t *testing.T) {
+	rec := sched.NewRecorder()
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: TimestampNoReadStamps, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPaperTiming(t, eng)
+	g := rec.Build()
+	if g.Serializable() {
+		t.Fatal("TO without read timestamps should have admitted the Figure 4 anomaly")
+	}
+}
+
+// TestHDDSameTimingSerializable: HDD under the identical interleaving
+// produces a serializable schedule — and without registering the
+// cross-class reads either.
+func TestHDDSameTimingSerializable(t *testing.T) {
+	rec := sched.NewRecorder()
+	eng, err := core.NewEngine(core.Config{Partition: inventoryPart(t), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPaperTiming(t, eng)
+	g := rec.Build()
+	if !g.Serializable() {
+		t.Fatalf("HDD schedule not serializable:\n%s", g.ExplainCycle())
+	}
+	if eng.Store().Stats().ReadRegistrations != 0 {
+		t.Fatal("HDD registered a cross-class read")
+	}
+}
+
+func TestNames(t *testing.T) {
+	p := inventoryPart(t)
+	e1, _ := NewEngine(Config{Partition: p, Flavor: LockingNoReadLocks})
+	e2, _ := NewEngine(Config{Partition: p, Flavor: TimestampNoReadStamps})
+	if e1.Name() != "2PL-noRL" || e2.Name() != "TO-noRTS" {
+		t.Fatalf("names: %q %q", e1.Name(), e2.Name())
+	}
+}
+
+func TestRootAccessesStillControlled(t *testing.T) {
+	// Inside the root segment the naive engines behave soundly: two
+	// same-class writers conflict.
+	for _, flavor := range []Flavor{LockingNoReadLocks, TimestampNoReadStamps} {
+		rec := sched.NewRecorder()
+		eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: flavor, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := eng.Begin(0)
+		b, _ := eng.Begin(0)
+		g0 := gr(0, 5)
+		if _, err := b.Read(g0); err != nil {
+			t.Fatal(err)
+		}
+		if flavor == TimestampNoReadStamps {
+			// b (younger) registered the read; a's older write rejects.
+			if errA := a.Write(g0, []byte("x")); !cc.IsAbort(errA) {
+				t.Fatalf("flavor %d: err = %v, want abort", flavor, errA)
+			}
+			_ = b.Commit()
+		} else {
+			// Locking flavor: b's read took a shared lock, so a's
+			// exclusive write blocks until b commits.
+			wrote := make(chan error, 1)
+			go func() { wrote <- a.Write(g0, []byte("x")) }()
+			if err := b.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if errA := <-wrote; errA != nil {
+				t.Fatalf("flavor %d: %v", flavor, errA)
+			}
+			_ = a.Commit()
+		}
+		if g := rec.Build(); !g.Serializable() {
+			t.Fatalf("flavor %d: root-only schedule must be serializable", flavor)
+		}
+	}
+}
+
+func TestReadOnlyUncontrolled(t *testing.T) {
+	eng, err := NewEngine(Config{Partition: inventoryPart(t), Flavor: LockingNoReadLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := eng.Begin(0)
+	_ = w.Write(gr(0, 1), []byte("x"))
+	_ = w.Commit()
+	ro, _ := eng.BeginReadOnly()
+	if v, err := ro.Read(gr(0, 1)); err != nil || string(v) != "x" {
+		t.Fatalf("read = %q %v", v, err)
+	}
+	if err := ro.Write(gr(0, 1), nil); err == nil {
+		t.Fatal("read-only write should fail")
+	}
+	_ = ro.Commit()
+	if eng.Stats().ReadRegistrations != 0 {
+		t.Fatal("uncontrolled read-only registered")
+	}
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/vclock"
+)
+
+// buildBigSchedule records w writers and r readers over g granules.
+func buildBigSchedule(writers, readers, granules int) *Recorder {
+	rec := NewRecorder()
+	var t cc.TxnID = 1
+	for i := 0; i < writers; i++ {
+		rec.RecordBegin(t, 0, false)
+		rec.RecordWrite(t, gran(0, i%granules), vclock.Time(t))
+		rec.RecordCommit(t, vclock.Time(t)+1)
+		t += 2
+	}
+	for i := 0; i < readers; i++ {
+		rec.RecordBegin(t, 0, true)
+		// Read the first version written to granule k (by writer k, whose
+		// id is 1+2k).
+		k := i % granules
+		rec.RecordRead(t, gran(0, k), vclock.Time(1+2*k), true)
+		rec.RecordCommit(t, vclock.Time(t)+1)
+		t += 2
+	}
+	return rec
+}
+
+func BenchmarkBuildDependencyGraph(b *testing.B) {
+	rec := buildBigSchedule(2000, 2000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := rec.Build()
+		if len(g.Nodes) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkFindCycleAcyclic(b *testing.B) {
+	rec := buildBigSchedule(2000, 2000, 64)
+	g := rec.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.FindCycle() != nil {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+func BenchmarkSerialOrder(b *testing.B) {
+	rec := buildBigSchedule(1000, 1000, 64)
+	g := rec.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.SerialOrder(); !ok {
+			b.Fatal("no order")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+func gran(seg, key int) schema.GranuleID {
+	return schema.GranuleID{Segment: schema.SegmentID(seg), Key: uint64(key)}
+}
+
+// TestReadFromArc: t2 reads t1's version → t2 depends on t1.
+func TestReadFromArc(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 1)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(20, d, 10, true)
+	r.RecordCommit(20, 21)
+
+	g := r.Build()
+	if !g.Succ[20][10] {
+		t.Fatalf("missing arc 20→10; graph %v", g.Succ)
+	}
+	if !g.Serializable() {
+		t.Fatal("schedule should be serializable")
+	}
+	order, ok := g.SerialOrder()
+	if !ok {
+		t.Fatal("no serial order")
+	}
+	pos := map[cc.TxnID]int{}
+	for i, x := range order {
+		pos[x] = i
+	}
+	if pos[10] > pos[20] {
+		t.Fatalf("serial order %v places dependent first", order)
+	}
+}
+
+// TestPredecessorArc: t1 reads a version, t2 overwrites it → t2 depends on
+// t1.
+func TestPredecessorArc(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 1)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(20, d, 10, true)
+	r.RecordCommit(20, 21)
+	r.RecordBegin(30, 0, false)
+	r.RecordWrite(30, d, 30)
+	r.RecordCommit(30, 31)
+
+	g := r.Build()
+	if !g.Succ[30][20] {
+		t.Fatalf("missing predecessor arc 30→20; %v", g.Succ)
+	}
+}
+
+// TestInitialVersionReads: a read of a non-existent granule reads from the
+// initial pseudo-transaction; the first writer then depends on the reader.
+func TestInitialVersionReads(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 2)
+	r.RecordBegin(10, 0, false)
+	r.RecordRead(10, d, 0, false)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(20, 0, false)
+	r.RecordWrite(20, d, 20)
+	r.RecordCommit(20, 21)
+
+	g := r.Build()
+	if !g.Succ[10][0] {
+		t.Fatalf("reader should depend on initial txn; %v", g.Succ)
+	}
+	if !g.Succ[20][10] {
+		t.Fatalf("first writer should depend on initial-version reader; %v", g.Succ)
+	}
+}
+
+// TestLostUpdateCycle is Figure 1 as a schedule: both transactions read
+// the same version and both overwrite it — a two-transaction cycle.
+func TestLostUpdateCycle(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 3)
+	// Initial balance written by txn 5.
+	r.RecordBegin(5, 0, false)
+	r.RecordWrite(5, d, 5)
+	r.RecordCommit(5, 6)
+	// t1 and t2 both read version 5, both write.
+	r.RecordBegin(10, 0, false)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(10, d, 5, true)
+	r.RecordRead(20, d, 5, true)
+	r.RecordWrite(10, d, 10)
+	r.RecordWrite(20, d, 20)
+	r.RecordCommit(10, 30)
+	r.RecordCommit(20, 31)
+
+	g := r.Build()
+	if g.Serializable() {
+		t.Fatal("lost update should not be serializable")
+	}
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("no cycle found")
+	}
+	expl := g.ExplainCycle()
+	if !strings.Contains(expl, "cycle") {
+		t.Fatalf("ExplainCycle output: %s", expl)
+	}
+	if _, ok := g.SerialOrder(); ok {
+		t.Fatal("SerialOrder should fail on a cyclic graph")
+	}
+}
+
+// TestAbortedTransactionsExcluded: an aborted writer's version and reads
+// play no role.
+func TestAbortedTransactionsExcluded(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 4)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordAbort(10, 11)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(20, d, 0, false)
+	r.RecordCommit(20, 21)
+
+	g := r.Build()
+	for _, n := range g.Nodes {
+		if n == 10 {
+			t.Fatal("aborted txn in graph")
+		}
+	}
+	if !g.Serializable() {
+		t.Fatal("should be serializable")
+	}
+}
+
+// TestMultiVersionNonConflict: in a multi-version schedule, a reader served
+// an old version while a newer version exists is still serializable (the
+// reader simply serializes before the overwriting writer).
+func TestMultiVersionNonConflict(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 5)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(30, 0, false)
+	r.RecordWrite(30, d, 30)
+	r.RecordCommit(30, 31)
+	// Reader at 20 reads version 10 even though version 30 exists.
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(20, d, 10, true)
+	r.RecordCommit(20, 32)
+
+	g := r.Build()
+	if !g.Serializable() {
+		t.Fatalf("multi-version old read should serialize; %s", g.ExplainCycle())
+	}
+	order, _ := g.SerialOrder()
+	pos := map[cc.TxnID]int{}
+	for i, x := range order {
+		pos[x] = i
+	}
+	if !(pos[10] < pos[20] && pos[20] < pos[30]) {
+		t.Fatalf("serial order %v, want 10 < 20 < 30", order)
+	}
+}
+
+func TestReadOwnWriteNoSelfArc(t *testing.T) {
+	r := NewRecorder()
+	d := gran(0, 6)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordRead(10, d, 10, true)
+	r.RecordCommit(10, 11)
+	g := r.Build()
+	if g.Succ[10][10] {
+		t.Fatal("self arc recorded")
+	}
+	if !g.Serializable() {
+		t.Fatal("should be serializable")
+	}
+}
+
+func TestNumCommitted(t *testing.T) {
+	r := NewRecorder()
+	r.RecordBegin(1, 0, false)
+	r.RecordBegin(2, 0, false)
+	r.RecordBegin(3, 0, false)
+	r.RecordCommit(1, 4)
+	r.RecordAbort(2, 5)
+	if got := r.NumCommitted(); got != 1 {
+		t.Fatalf("NumCommitted = %d, want 1", got)
+	}
+}
+
+func TestExplainNoCycle(t *testing.T) {
+	r := NewRecorder()
+	g := r.Build()
+	if !strings.Contains(g.ExplainCycle(), "serializable") {
+		t.Fatal("ExplainCycle on empty graph should say serializable")
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// TracingRecorder wraps a Recorder with an ordered, human-readable event
+// log — the tool for post-morteming a non-serializable schedule: the
+// dependency graph says *what* conflicts, the trace says *when* each step
+// happened relative to the others.
+//
+// Ordering is by arrival at the recorder, which is a linearization of the
+// engine's own synchronization for events on the same granule/transaction;
+// unrelated events may interleave arbitrarily, as in the real execution.
+type TracingRecorder struct {
+	*Recorder
+	mu     sync.Mutex
+	events []string
+	limit  int
+}
+
+var _ cc.Recorder = (*TracingRecorder)(nil)
+
+// NewTracingRecorder returns a recorder that additionally retains up to
+// limit formatted events (0 means a generous default).
+func NewTracingRecorder(limit int) *TracingRecorder {
+	if limit <= 0 {
+		limit = 1 << 18
+	}
+	return &TracingRecorder{Recorder: NewRecorder(), limit: limit}
+}
+
+func (r *TracingRecorder) trace(format string, args ...any) {
+	r.mu.Lock()
+	if len(r.events) < r.limit {
+		r.events = append(r.events, fmt.Sprintf(format, args...))
+	}
+	r.mu.Unlock()
+}
+
+// RecordBegin implements cc.Recorder.
+func (r *TracingRecorder) RecordBegin(t cc.TxnID, class schema.ClassID, readOnly bool) {
+	r.Recorder.RecordBegin(t, class, readOnly)
+	kind := fmt.Sprintf("class %d", class)
+	if readOnly {
+		kind = "read-only"
+	}
+	r.trace("begin  t%-6d %s", t, kind)
+}
+
+// RecordRead implements cc.Recorder.
+func (r *TracingRecorder) RecordRead(t cc.TxnID, g schema.GranuleID, versionTS vclock.Time, found bool) {
+	r.Recorder.RecordRead(t, g, versionTS, found)
+	if found {
+		r.trace("read   t%-6d %v@%d", t, g, versionTS)
+	} else {
+		r.trace("read   t%-6d %v@initial", t, g)
+	}
+}
+
+// RecordWrite implements cc.Recorder.
+func (r *TracingRecorder) RecordWrite(t cc.TxnID, g schema.GranuleID, versionTS vclock.Time) {
+	r.Recorder.RecordWrite(t, g, versionTS)
+	r.trace("write  t%-6d %v@%d", t, g, versionTS)
+}
+
+// RecordCommit implements cc.Recorder.
+func (r *TracingRecorder) RecordCommit(t cc.TxnID, at vclock.Time) {
+	r.Recorder.RecordCommit(t, at)
+	r.trace("commit t%-6d @%d", t, at)
+}
+
+// RecordAbort implements cc.Recorder.
+func (r *TracingRecorder) RecordAbort(t cc.TxnID, at vclock.Time) {
+	r.Recorder.RecordAbort(t, at)
+	r.trace("abort  t%-6d @%d", t, at)
+}
+
+// Events returns a copy of the retained event lines in arrival order.
+func (r *TracingRecorder) Events() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// Dump writes the trace to w, optionally filtered to the given transaction
+// ids (nil means everything).
+func (r *TracingRecorder) Dump(w io.Writer, only ...cc.TxnID) error {
+	keep := map[string]bool{}
+	for _, id := range only {
+		keep[fmt.Sprintf("t%-6d", id)] = true
+	}
+	for _, line := range r.Events() {
+		if len(keep) > 0 {
+			matched := false
+			for k := range keep {
+				if strings.Contains(line, k) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpCycle renders a failing schedule for diagnosis: the dependency-graph
+// cycle with per-arc justifications, followed by the trace filtered to the
+// transactions on the cycle. Returns "" when the schedule is serializable.
+func (r *TracingRecorder) DumpCycle() string {
+	g := r.Build()
+	cycle := g.FindCycle()
+	if cycle == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(g.ExplainCycle())
+	b.WriteString("trace of the transactions on the cycle:\n")
+	uniq := map[cc.TxnID]bool{}
+	var ids []cc.TxnID
+	for _, id := range cycle {
+		if !uniq[id] {
+			uniq[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	_ = r.Dump(&b, ids...)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"hdd/internal/cc"
+)
+
+func TestTracingRecorderEvents(t *testing.T) {
+	r := NewTracingRecorder(0)
+	d := gran(0, 1)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(20, 1, false)
+	r.RecordRead(20, d, 10, true)
+	r.RecordAbort(20, 21)
+	r.RecordBegin(30, 0, true)
+	r.RecordRead(30, gran(0, 9), 0, false)
+
+	events := r.Events()
+	if len(events) != 8 {
+		t.Fatalf("events = %d, want 8", len(events))
+	}
+	joined := strings.Join(events, "\n")
+	for _, want := range []string{"begin", "write", "commit", "read", "abort", "read-only", "@initial"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace missing %q:\n%s", want, joined)
+		}
+	}
+	// The embedded Recorder still builds the graph.
+	if !r.Build().Serializable() {
+		t.Fatal("graph lost")
+	}
+}
+
+func TestTracingRecorderDumpFilter(t *testing.T) {
+	r := NewTracingRecorder(0)
+	d := gran(0, 1)
+	r.RecordBegin(10, 0, false)
+	r.RecordWrite(10, d, 10)
+	r.RecordCommit(10, 11)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(20, d, 10, true)
+	r.RecordCommit(20, 21)
+
+	var all, filtered strings.Builder
+	if err := r.Dump(&all); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Dump(&filtered, 20); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(all.String(), "\n") != 6 {
+		t.Fatalf("unfiltered dump:\n%s", all.String())
+	}
+	if strings.Contains(filtered.String(), "t10 ") {
+		t.Fatalf("filter leaked t10:\n%s", filtered.String())
+	}
+	if strings.Count(filtered.String(), "\n") != 3 {
+		t.Fatalf("filtered dump:\n%s", filtered.String())
+	}
+}
+
+func TestTracingRecorderDumpCycle(t *testing.T) {
+	r := NewTracingRecorder(0)
+	d := gran(0, 3)
+	// The Figure 1 lost update.
+	r.RecordBegin(5, 0, false)
+	r.RecordWrite(5, d, 5)
+	r.RecordCommit(5, 6)
+	r.RecordBegin(10, 0, false)
+	r.RecordBegin(20, 0, false)
+	r.RecordRead(10, d, 5, true)
+	r.RecordRead(20, d, 5, true)
+	r.RecordWrite(10, d, 10)
+	r.RecordWrite(20, d, 20)
+	r.RecordCommit(10, 30)
+	r.RecordCommit(20, 31)
+
+	out := r.DumpCycle()
+	if out == "" {
+		t.Fatal("cycle not reported")
+	}
+	if !strings.Contains(out, "cycle") || !strings.Contains(out, "trace of the transactions") {
+		t.Fatalf("dump incomplete:\n%s", out)
+	}
+
+	// Serializable schedules dump nothing.
+	r2 := NewTracingRecorder(0)
+	r2.RecordBegin(1, 0, false)
+	r2.RecordCommit(1, 2)
+	if r2.DumpCycle() != "" {
+		t.Fatal("cycle reported on serializable schedule")
+	}
+}
+
+func TestTracingRecorderLimit(t *testing.T) {
+	r := NewTracingRecorder(3)
+	for i := 1; i <= 10; i++ {
+		r.RecordBegin(cc.TxnID(i), 0, false)
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("limit not applied: %d events", len(r.Events()))
+	}
+}

@@ -1,0 +1,306 @@
+// Package schema models Hsu (1982) §3.2: database partitions into data
+// segments, update-transaction class specifications, the data hierarchy
+// graph (DHG) built by transaction analysis, TST-legality validation, and
+// the induced transaction classification / transaction hierarchy graph
+// (THG).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdd/internal/graph"
+)
+
+// SegmentID identifies a data segment D_i in a partition. Segments are
+// dense indices 0..n-1 into the partition's segment list.
+type SegmentID int
+
+// ClassID identifies an update-transaction class T_i. In a TST-legal
+// partition classes correspond one-to-one with segments (Property, §3.2),
+// so ClassID(i) is rooted in SegmentID(i).
+type ClassID int
+
+// NoClass marks transactions that belong to no update class (read-only
+// transactions, which the paper handles separately with Protocol C).
+const NoClass ClassID = -1
+
+// GranuleID names a data granule: the smallest unit of access visible to
+// concurrency control (§4, Notations). A granule lives in exactly one
+// segment.
+type GranuleID struct {
+	Segment SegmentID
+	Key     uint64
+}
+
+// String renders a granule id as "D2:17".
+func (g GranuleID) String() string { return fmt.Sprintf("D%d:%d", g.Segment, g.Key) }
+
+// ClassSpec declares the access pattern of one update-transaction class:
+// the single segment it writes (its "root") and the set of segments it may
+// read. Root is implicitly readable. The paper's transaction analysis is
+// declared rather than inferred: each application states, per class, which
+// segments its transactions may touch.
+type ClassSpec struct {
+	// Name is a human label for diagnostics ("type-2: post inventory").
+	Name string
+	// Writes is the root segment the class updates.
+	Writes SegmentID
+	// Reads lists the other segments the class may read. Duplicates and
+	// the root segment itself are tolerated and normalized away.
+	Reads []SegmentID
+}
+
+// Partition is a validated hierarchical database decomposition: segments,
+// update-transaction classes, the DHG over segments and the THG over
+// classes (isomorphic by construction), plus precomputed critical-path
+// structure used by the activity-link functions.
+type Partition struct {
+	segmentNames []string
+	classes      []ClassSpec
+	dhg          *graph.Digraph
+	reduction    *graph.Digraph
+	// cp[i][j] is the critical path i..j (node sequence) or nil.
+	cp [][][]int
+	// ucp[i][j] is the undirected critical path i..j or nil.
+	ucp [][][]int
+}
+
+// ErrNotTST is returned (wrapped) by NewPartition when the declared access
+// patterns do not form a transitive semi-tree, the legality condition of
+// §3.2.
+var ErrNotTST = fmt.Errorf("schema: data hierarchy graph is not a transitive semi-tree")
+
+// NewPartition validates a decomposition. segmentNames names segments
+// 0..n-1; classes declares one update class per segment, where classes[i]
+// must write segment i (the classification property of §3.2 makes this a
+// requirement rather than a result: an update class is identified by its
+// root segment). Classes reading segments outside the declared hierarchy,
+// or an access pattern whose DHG is not a transitive semi-tree, are
+// rejected.
+func NewPartition(segmentNames []string, classes []ClassSpec) (*Partition, error) {
+	n := len(segmentNames)
+	if n == 0 {
+		return nil, fmt.Errorf("schema: partition needs at least one segment")
+	}
+	if len(classes) != n {
+		return nil, fmt.Errorf("schema: got %d classes for %d segments; a TST-legal partition pairs each segment with exactly one update class", len(classes), n)
+	}
+	dhg := graph.New(n)
+	for i, c := range classes {
+		if int(c.Writes) != i {
+			return nil, fmt.Errorf("schema: class %d (%q) writes segment %d; class i must be rooted in segment i", i, c.Name, c.Writes)
+		}
+		for _, r := range c.Reads {
+			if r < 0 || int(r) >= n {
+				return nil, fmt.Errorf("schema: class %d (%q) reads unknown segment %d", i, c.Name, r)
+			}
+			if int(r) != i {
+				// D_i → D_j: a transaction updating D_i accesses D_j.
+				dhg.AddArc(i, int(r))
+			}
+		}
+	}
+	if !dhg.IsTransitiveSemiTree() {
+		return nil, fmt.Errorf("%w: classes %s", ErrNotTST, describeViolation(dhg))
+	}
+	p := &Partition{
+		segmentNames: append([]string(nil), segmentNames...),
+		classes:      normalizeClasses(classes),
+		dhg:          dhg,
+		reduction:    dhg.TransitiveReduction(),
+	}
+	p.cp = make([][][]int, n)
+	p.ucp = make([][][]int, n)
+	for i := 0; i < n; i++ {
+		p.cp[i] = make([][]int, n)
+		p.ucp[i] = make([][]int, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				p.cp[i][j] = dhg.CriticalPath(i, j)
+			}
+			p.ucp[i][j] = dhg.UndirectedCriticalPath(i, j)
+		}
+	}
+	return p, nil
+}
+
+func normalizeClasses(classes []ClassSpec) []ClassSpec {
+	out := make([]ClassSpec, len(classes))
+	for i, c := range classes {
+		seen := map[SegmentID]bool{c.Writes: true}
+		var reads []SegmentID
+		for _, r := range c.Reads {
+			if !seen[r] {
+				seen[r] = true
+				reads = append(reads, r)
+			}
+		}
+		sort.Slice(reads, func(a, b int) bool { return reads[a] < reads[b] })
+		out[i] = ClassSpec{Name: c.Name, Writes: c.Writes, Reads: reads}
+	}
+	return out
+}
+
+func describeViolation(g *graph.Digraph) string {
+	if cyc := g.FindCycle(); cyc != nil {
+		parts := make([]string, len(cyc))
+		for i, x := range cyc {
+			parts[i] = fmt.Sprintf("D%d", x)
+		}
+		return "form the cycle " + strings.Join(parts, "→")
+	}
+	return "induce more than one undirected path between some pair of segments"
+}
+
+// NumSegments returns the number of data segments.
+func (p *Partition) NumSegments() int { return len(p.segmentNames) }
+
+// NumClasses returns the number of update-transaction classes (equal to the
+// number of segments in a TST-legal partition).
+func (p *Partition) NumClasses() int { return len(p.classes) }
+
+// SegmentName returns the declared name of segment s.
+func (p *Partition) SegmentName(s SegmentID) string { return p.segmentNames[s] }
+
+// Class returns the normalized spec of class c.
+func (p *Partition) Class(c ClassID) ClassSpec { return p.classes[c] }
+
+// DHG returns the data hierarchy graph. The returned graph must not be
+// modified.
+func (p *Partition) DHG() *graph.Digraph { return p.dhg }
+
+// THG returns the transaction hierarchy graph. It is isomorphic to the DHG
+// (T_i → T_j iff D_i → D_j, §3.2), so the same graph is returned.
+func (p *Partition) THG() *graph.Digraph { return p.dhg }
+
+// CriticalArcs returns the critical arcs of the DHG/THG — the arcs of its
+// transitive reduction.
+func (p *Partition) CriticalArcs() [][2]int { return p.reduction.Arcs() }
+
+// HasCriticalArc reports whether i→j is a critical arc.
+func (p *Partition) HasCriticalArc(i, j ClassID) bool {
+	return p.reduction.HasArc(int(i), int(j))
+}
+
+// CriticalPath returns the critical path CP_i^j as a class sequence
+// starting at i and ending at j, or nil if j is not higher than i.
+func (p *Partition) CriticalPath(i, j ClassID) []int { return p.cp[i][j] }
+
+// Higher reports the paper's ⇑ partial order: T_j ⇑ T_i iff CP_i^j exists.
+func (p *Partition) Higher(j, i ClassID) bool { return i != j && p.cp[i][j] != nil }
+
+// Comparable reports whether i and j lie on one critical path (either
+// i == j, or one is higher than the other).
+func (p *Partition) Comparable(i, j ClassID) bool {
+	return i == j || p.Higher(i, j) || p.Higher(j, i)
+}
+
+// OnOneCriticalPath reports whether all the given classes lie together on a
+// single critical path in the THG. Used to decide whether a read-only
+// transaction can run under Protocol A semantics (§5, Figure 8) or needs a
+// time wall.
+func (p *Partition) OnOneCriticalPath(classes []ClassID) bool {
+	if len(classes) <= 1 {
+		return true
+	}
+	uniq := uniqueClasses(classes)
+	// All pairs must be comparable, and comparability along a single chain
+	// requires a linear order by ⇑. Sort by "height" and verify a chain.
+	sort.Slice(uniq, func(a, b int) bool { return p.Higher(uniq[b], uniq[a]) })
+	for k := 0; k+1 < len(uniq); k++ {
+		if !p.Higher(uniq[k+1], uniq[k]) {
+			return false
+		}
+	}
+	// A chain lies on one critical path iff the critical path from the
+	// lowest to the highest passes through every member.
+	path := p.cp[uniq[0]][uniq[len(uniq)-1]]
+	if path == nil {
+		return false
+	}
+	on := make(map[int]bool, len(path))
+	for _, x := range path {
+		on[x] = true
+	}
+	for _, c := range uniq {
+		if !on[int(c)] {
+			return false
+		}
+	}
+	return true
+}
+
+func uniqueClasses(classes []ClassID) []ClassID {
+	seen := make(map[ClassID]bool, len(classes))
+	var out []ClassID
+	for _, c := range classes {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// UCP returns the undirected critical path between classes i and j as a
+// node sequence (i first), or nil if they are in different weak components.
+func (p *Partition) UCP(i, j ClassID) []int { return p.ucp[i][j] }
+
+// LowestClasses returns the classes that have no class below them in the
+// THG (no incoming critical arc from a lower class — i.e. classes that are
+// not higher than any other class). §5.2 starts time-wall computation from
+// one of these.
+func (p *Partition) LowestClasses() []ClassID {
+	n := p.NumClasses()
+	var out []ClassID
+	for i := 0; i < n; i++ {
+		lowest := true
+		for j := 0; j < n; j++ {
+			if i != j && p.Higher(ClassID(i), ClassID(j)) {
+				lowest = false
+				break
+			}
+		}
+		if lowest {
+			out = append(out, ClassID(i))
+		}
+	}
+	return out
+}
+
+// MayRead reports whether class c may read segment s under its declared
+// spec.
+func (p *Partition) MayRead(c ClassID, s SegmentID) bool {
+	if c == NoClass {
+		return true
+	}
+	spec := p.classes[c]
+	if spec.Writes == s {
+		return true
+	}
+	for _, r := range spec.Reads {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MayWrite reports whether class c may write segment s (only its root).
+func (p *Partition) MayWrite(c ClassID, s SegmentID) bool {
+	return c != NoClass && p.classes[c].Writes == s
+}
+
+// String renders the partition for diagnostics.
+func (p *Partition) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition with %d segments\n", p.NumSegments())
+	for i, name := range p.segmentNames {
+		c := p.classes[i]
+		fmt.Fprintf(&b, "  D%d %-20s class %q reads %v\n", i, name, c.Name, c.Reads)
+	}
+	fmt.Fprintf(&b, "  critical arcs: %v\n", p.CriticalArcs())
+	return b.String()
+}

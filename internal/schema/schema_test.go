@@ -1,0 +1,245 @@
+package schema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// inventoryPartition is the paper's Figure 2 application: a 4-segment
+// chain (events ← inventory ← on-order ← profiles).
+func inventoryPartition(t *testing.T) *Partition {
+	t.Helper()
+	p, err := NewPartition(
+		[]string{"events", "inventory", "on-order", "profiles"},
+		[]ClassSpec{
+			{Name: "type-1", Writes: 0},
+			{Name: "type-2", Writes: 1, Reads: []SegmentID{0}},
+			{Name: "type-3", Writes: 2, Reads: []SegmentID{0, 1}},
+			{Name: "profiles", Writes: 3, Reads: []SegmentID{0, 2}},
+		})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	return p
+}
+
+func TestInventoryPartitionValid(t *testing.T) {
+	p := inventoryPartition(t)
+	if p.NumSegments() != 4 || p.NumClasses() != 4 {
+		t.Fatalf("sizes wrong: %d segments, %d classes", p.NumSegments(), p.NumClasses())
+	}
+	// The DHG reduces to the chain 3→2→1→0.
+	arcs := p.CriticalArcs()
+	want := map[[2]int]bool{{1, 0}: true, {2, 1}: true, {3, 2}: true}
+	if len(arcs) != len(want) {
+		t.Fatalf("critical arcs %v, want chain", arcs)
+	}
+	for _, a := range arcs {
+		if !want[a] {
+			t.Fatalf("unexpected critical arc %v", a)
+		}
+	}
+}
+
+func TestHigherAndComparable(t *testing.T) {
+	p := inventoryPartition(t)
+	if !p.Higher(0, 3) || !p.Higher(1, 2) {
+		t.Fatal("chain order wrong")
+	}
+	if p.Higher(3, 0) {
+		t.Fatal("3 higher than 0?")
+	}
+	if !p.Comparable(2, 2) || !p.Comparable(0, 3) {
+		t.Fatal("comparable wrong")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	p := inventoryPartition(t)
+	path := p.CriticalPath(3, 0)
+	want := []int{3, 2, 1, 0}
+	if len(path) != 4 {
+		t.Fatalf("CP(3,0) = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("CP(3,0) = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRejectsTwoRoots(t *testing.T) {
+	_, err := NewPartition(
+		[]string{"a", "b"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1-misrooted", Writes: 0},
+		})
+	if err == nil {
+		t.Fatal("expected error for class not rooted in its segment")
+	}
+}
+
+func TestRejectsNonTST(t *testing.T) {
+	// Diamond: 3 reads 1 and 2; 1 and 2 both read 0.
+	_, err := NewPartition(
+		[]string{"d0", "d1", "d2", "d3"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0}},
+			{Name: "c2", Writes: 2, Reads: []SegmentID{0}},
+			{Name: "c3", Writes: 3, Reads: []SegmentID{1, 2}},
+		})
+	if !errors.Is(err, ErrNotTST) {
+		t.Fatalf("err = %v, want ErrNotTST", err)
+	}
+}
+
+func TestRejectsCycleInducingSpecs(t *testing.T) {
+	// Mutual reads that write into each other's territory are impossible
+	// to express (one root each), but a 2-cycle in the DHG arises from
+	// c0 reading 1 and c1 reading 0.
+	_, err := NewPartition(
+		[]string{"a", "b"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0, Reads: []SegmentID{1}},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0}},
+		})
+	if !errors.Is(err, ErrNotTST) {
+		t.Fatalf("err = %v, want ErrNotTST", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error should describe the cycle: %v", err)
+	}
+}
+
+func TestRejectsBadShapes(t *testing.T) {
+	if _, err := NewPartition(nil, nil); err == nil {
+		t.Fatal("expected error for empty partition")
+	}
+	if _, err := NewPartition([]string{"a"}, nil); err == nil {
+		t.Fatal("expected error for missing classes")
+	}
+	if _, err := NewPartition([]string{"a"},
+		[]ClassSpec{{Name: "c", Writes: 0, Reads: []SegmentID{9}}}); err == nil {
+		t.Fatal("expected error for unknown read segment")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	p, err := NewPartition(
+		[]string{"a", "b"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0, 0, 1}},
+		})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	c := p.Class(1)
+	if len(c.Reads) != 1 || c.Reads[0] != 0 {
+		t.Fatalf("normalized reads = %v, want [0]", c.Reads)
+	}
+}
+
+func TestMayReadMayWrite(t *testing.T) {
+	p := inventoryPartition(t)
+	if !p.MayRead(2, 0) || !p.MayRead(2, 1) || !p.MayRead(2, 2) {
+		t.Fatal("type-3 read permissions wrong")
+	}
+	if p.MayRead(1, 2) {
+		t.Fatal("type-2 must not read on-order")
+	}
+	if !p.MayWrite(1, 1) || p.MayWrite(1, 0) {
+		t.Fatal("write permissions wrong")
+	}
+	if !p.MayRead(NoClass, 3) {
+		t.Fatal("read-only transactions may read anything")
+	}
+	if p.MayWrite(NoClass, 0) {
+		t.Fatal("read-only transactions may not write")
+	}
+}
+
+func TestOnOneCriticalPath(t *testing.T) {
+	p := inventoryPartition(t)
+	if !p.OnOneCriticalPath([]ClassID{0, 1, 2}) {
+		t.Fatal("chain members should be on one critical path")
+	}
+	if !p.OnOneCriticalPath([]ClassID{3}) || !p.OnOneCriticalPath(nil) {
+		t.Fatal("degenerate sets should be on one path")
+	}
+
+	// Branching partition: 1→0 and 2→0; classes 1 and 2 are off-path.
+	pb, err := NewPartition(
+		[]string{"top", "left", "right"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0}},
+			{Name: "c2", Writes: 2, Reads: []SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	if pb.OnOneCriticalPath([]ClassID{1, 2}) {
+		t.Fatal("siblings are not on one critical path")
+	}
+	if !pb.OnOneCriticalPath([]ClassID{1, 0}) {
+		t.Fatal("1 and 0 are on one critical path")
+	}
+}
+
+func TestLowestClasses(t *testing.T) {
+	p := inventoryPartition(t)
+	low := p.LowestClasses()
+	if len(low) != 1 || low[0] != 3 {
+		t.Fatalf("LowestClasses = %v, want [3]", low)
+	}
+
+	pb, err := NewPartition(
+		[]string{"top", "left", "right"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0}},
+			{Name: "c2", Writes: 2, Reads: []SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low = pb.LowestClasses()
+	if len(low) != 2 {
+		t.Fatalf("LowestClasses = %v, want two leaves", low)
+	}
+}
+
+func TestUCP(t *testing.T) {
+	p, err := NewPartition(
+		[]string{"top", "left", "right"},
+		[]ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []SegmentID{0}},
+			{Name: "c2", Writes: 2, Reads: []SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucp := p.UCP(1, 2)
+	if len(ucp) != 3 || ucp[0] != 1 || ucp[1] != 0 || ucp[2] != 2 {
+		t.Fatalf("UCP(1,2) = %v, want [1 0 2]", ucp)
+	}
+}
+
+func TestGranuleString(t *testing.T) {
+	g := GranuleID{Segment: 2, Key: 17}
+	if g.String() != "D2:17" {
+		t.Fatalf("String = %q", g.String())
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	s := inventoryPartition(t).String()
+	if !strings.Contains(s, "events") || !strings.Contains(s, "critical arcs") {
+		t.Fatalf("String output incomplete: %s", s)
+	}
+}

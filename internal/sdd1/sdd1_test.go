@@ -1,0 +1,225 @@
+package sdd1
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/sched"
+	"hdd/internal/schema"
+)
+
+func part(t testing.TB) *schema.Partition {
+	t.Helper()
+	p, err := schema.NewPartition(
+		[]string{"events", "inventory"},
+		[]schema.ClassSpec{
+			{Name: "c0", Writes: 0},
+			{Name: "c1", Writes: 1, Reads: []schema.SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func gr(seg, key int) schema.GranuleID {
+	return schema.GranuleID{Segment: schema.SegmentID(seg), Key: uint64(key)}
+}
+
+func newEngine(t testing.TB, rec cc.Recorder) *Engine {
+	t.Helper()
+	e, err := NewEngine(Config{Partition: part(t), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBasicFlow(t *testing.T) {
+	e := newEngine(t, nil)
+	if e.Name() != "SDD-1" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(0, 1), []byte("ev")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(1)
+	if v, err := r.Read(gr(0, 1)); err != nil || string(v) != "ev" {
+		t.Fatalf("cross-class read = %q %v", v, err)
+	}
+	if err := r.Write(gr(1, 1), []byte("derived")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().ReadRegistrations != 0 {
+		t.Fatal("SDD-1 reads must not register per-granule traces")
+	}
+}
+
+// TestClassPipelining: a second transaction of the same class cannot begin
+// until the first completes.
+func TestClassPipelining(t *testing.T) {
+	e := newEngine(t, nil)
+	t1, _ := e.Begin(0)
+	started := make(chan cc.Txn)
+	go func() {
+		t2, _ := e.Begin(0)
+		started <- t2
+	}()
+	select {
+	case <-started:
+		t.Fatal("second class-0 txn admitted while first active")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := <-started
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossClassReadBlocks: the Figure 10 behaviour HDD avoids — a reader
+// must wait for the writing class to drain older transactions.
+func TestCrossClassReadBlocks(t *testing.T) {
+	e := newEngine(t, nil)
+	w, _ := e.Begin(0) // older class-0 txn, still active
+	r, _ := e.Begin(1)
+	got := make(chan string, 1)
+	go func() {
+		v, err := r.Read(gr(0, 2))
+		if err != nil {
+			got <- "ERR"
+			return
+		}
+		got <- string(v)
+	}()
+	select {
+	case <-got:
+		t.Fatal("cross-class read did not wait for older writer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := w.Write(gr(0, 2), []byte("late-arriving")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != "late-arriving" {
+		t.Fatalf("read = %q (conservative ordering should include the older write)", v)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().BlockedReads == 0 {
+		t.Fatal("blocked read not counted")
+	}
+}
+
+func TestReadOnlyConservative(t *testing.T) {
+	e := newEngine(t, nil)
+	w, _ := e.Begin(0)
+	_ = w.Write(gr(0, 3), []byte("x"))
+	_ = w.Commit()
+	ro, _ := e.BeginReadOnly()
+	if v, err := ro.Read(gr(0, 3)); err != nil || string(v) != "x" {
+		t.Fatalf("read-only read = %q %v", v, err)
+	}
+	if err := ro.Write(gr(0, 3), nil); err == nil {
+		t.Fatal("read-only write should fail")
+	}
+	_ = ro.Commit()
+}
+
+func TestWriteOutsideRootRejected(t *testing.T) {
+	e := newEngine(t, nil)
+	w, _ := e.Begin(1)
+	err := w.Write(gr(0, 1), nil)
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonClassViolation {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAbortReleasesPipe(t *testing.T) {
+	e := newEngine(t, nil)
+	t1, _ := e.Begin(0)
+	if err := t1.Write(gr(0, 9), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Pipe released; next class-0 txn begins immediately and does not see
+	// the aborted write.
+	done := make(chan string, 1)
+	go func() {
+		t2, _ := e.Begin(0)
+		v, _ := t2.Read(gr(0, 9))
+		_ = t2.Commit()
+		done <- string(v)
+	}()
+	select {
+	case v := <-done:
+		if v != "" {
+			t.Fatalf("aborted write visible: %q", v)
+		}
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("pipe not released by abort")
+	}
+}
+
+func TestSerializabilityUnderLoad(t *testing.T) {
+	rec := sched.NewRecorder()
+	e, err := NewEngine(Config{Partition: part(t), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 40; i++ {
+				switch r.Intn(3) {
+				case 0:
+					tx, _ := e.Begin(0)
+					g := gr(0, r.Intn(8))
+					old, _ := tx.Read(g)
+					_ = tx.Write(g, append(old, 1))
+					_ = tx.Commit()
+				case 1:
+					tx, _ := e.Begin(1)
+					_, _ = tx.Read(gr(0, r.Intn(8)))
+					g := gr(1, r.Intn(8))
+					old, _ := tx.Read(g)
+					_ = tx.Write(g, append(old, 1))
+					_ = tx.Commit()
+				default:
+					tx, _ := e.BeginReadOnly()
+					_, _ = tx.Read(gr(0, r.Intn(8)))
+					_, _ = tx.Read(gr(1, r.Intn(8)))
+					_ = tx.Commit()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	g := rec.Build()
+	if !g.Serializable() {
+		t.Fatalf("SDD-1 schedule not serializable:\n%s", g.ExplainCycle())
+	}
+	if rec.NumCommitted() == 0 {
+		t.Fatal("vacuous")
+	}
+}

@@ -1,0 +1,48 @@
+package segctl
+
+import (
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/core"
+)
+
+// BenchmarkDeployment compares the shared-memory and message-passing
+// deployments of the same protocols on one transaction shape — the cost of
+// the paper's §7.5 "inter-level communication" rendered as channel hops.
+func BenchmarkDeployment(b *testing.B) {
+	part := branching(b)
+	run := func(b *testing.B, begin func() (cc.Txn, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			tx, err := begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Read(gr(0, i%64)); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Write(gr(2, i%64), []byte{byte(i)}); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("shared-memory", func(b *testing.B) {
+		e, err := core.NewEngine(core.Config{Partition: part, WallInterval: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func() (cc.Txn, error) { return e.Begin(2) })
+	})
+	b.Run("message-passing", func(b *testing.B) {
+		e, err := NewEngine(Config{Partition: part, WallInterval: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		run(b, func() (cc.Txn, error) { return e.Begin(2) })
+	})
+}

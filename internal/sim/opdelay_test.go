@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"hdd/internal/workload"
+)
+
+// TestOpDelaySlowsRun: with a per-operation delay the run takes at least
+// ops × delay / clients of wall-clock time, and results stay correct.
+func TestOpDelaySlowsRun(t *testing.T) {
+	e, b := bankingEngine(t)
+	const clients, txns = 2, 10
+	res, err := Run(Config{
+		Engine:        e,
+		Clients:       clients,
+		TxnsPerClient: txns,
+		Seed:          1,
+		OpDelay:       2 * time.Millisecond,
+		Mix: []TxnKind{
+			{Name: "transfer", Weight: 1, Class: workload.ClassTeller, Fn: b.Transfer},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each transfer is 1 read + 1 write = 2 ops → ≥ 2 × 2ms × 10 txns per
+	// client, clients run in parallel.
+	minElapsed := time.Duration(txns) * 2 * 2 * time.Millisecond
+	if res.Elapsed < minElapsed {
+		t.Fatalf("elapsed %v < %v: delay not applied", res.Elapsed, minElapsed)
+	}
+	if res.Committed != clients*txns {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+}
+
+// TestOpDelayZeroIsUndecorated: without delay the transaction values pass
+// through undecorated (ID and Class still proxied correctly when
+// decorated is covered above).
+func TestOpDelayZeroFast(t *testing.T) {
+	e, b := bankingEngine(t)
+	res, err := Run(Config{
+		Engine:        e,
+		Clients:       2,
+		TxnsPerClient: 20,
+		Seed:          1,
+		Mix: []TxnKind{
+			{Name: "transfer", Weight: 1, Class: workload.ClassTeller, Fn: b.Transfer},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed > 2*time.Second {
+		t.Fatalf("undelayed run took %v", res.Elapsed)
+	}
+}

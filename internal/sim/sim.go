@@ -1,0 +1,231 @@
+// Package sim drives a concurrency-control engine with concurrent clients
+// executing a weighted mix of workload transactions — the measurement
+// substrate for every quantitative experiment (§7.4's "efficacy of the HDD
+// approach", which the paper leaves to future work and this reproduction
+// carries out).
+//
+// A Runner starts one goroutine per client; each repeatedly picks a
+// transaction kind by weight, runs it against the engine, commits, and
+// retries from scratch on abort (counting the retry). The run is bounded by
+// transactions per client, so results are comparable across engines
+// regardless of their speed.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/metrics"
+	"hdd/internal/schema"
+)
+
+// TxnKind is one entry in a workload mix.
+type TxnKind struct {
+	// Name labels the kind in reports.
+	Name string
+	// Weight is the relative frequency (> 0).
+	Weight int
+	// Class is the update class, or schema.NoClass with ReadOnly.
+	Class schema.ClassID
+	// ReadOnly selects Engine.BeginReadOnly.
+	ReadOnly bool
+	// Fn is the transaction body. A returned abort error triggers a
+	// retry; any other error fails the run.
+	Fn func(cc.Txn, *rand.Rand) error
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Engine under test.
+	Engine cc.Engine
+	// Mix is the weighted transaction mix; at least one kind.
+	Mix []TxnKind
+	// Clients is the number of concurrent clients. Defaults to 8.
+	Clients int
+	// TxnsPerClient is each client's committed-transaction quota.
+	// Defaults to 100.
+	TxnsPerClient int
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxRetries bounds per-transaction retries before the run fails
+	// (guards against livelock in broken engines). Defaults to 10000.
+	MaxRetries int
+	// OpDelay injects a fixed latency before every read and write,
+	// modelling the storage access a real system would pay. With it,
+	// blocking and serialization show up in throughput — the pure
+	// in-memory engines are otherwise so fast that synchronization
+	// stalls are invisible. Zero disables.
+	OpDelay time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	EngineName string
+	// Committed is the number of committed transactions (clients ×
+	// quota).
+	Committed int64
+	// Retries is the number of aborted attempts that were retried.
+	Retries int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Latency is the per-committed-transaction latency distribution
+	// (including its retries).
+	Latency *metrics.Histogram
+	// Stats is the engine counter delta over the run.
+	Stats cc.Stats
+	// PerKind counts committed transactions per mix entry.
+	PerKind map[string]int64
+}
+
+// Throughput returns committed transactions per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// Run executes the configured workload and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("sim: Config.Engine is required")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("sim: Config.Mix is empty")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.TxnsPerClient <= 0 {
+		cfg.TxnsPerClient = 100
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 10000
+	}
+	totalWeight := 0
+	for i, k := range cfg.Mix {
+		if k.Weight <= 0 {
+			return nil, fmt.Errorf("sim: mix entry %d (%q) has non-positive weight", i, k.Name)
+		}
+		if k.Fn == nil {
+			return nil, fmt.Errorf("sim: mix entry %d (%q) has nil Fn", i, k.Name)
+		}
+		totalWeight += k.Weight
+	}
+
+	res := &Result{
+		EngineName: cfg.Engine.Name(),
+		Latency:    &metrics.Histogram{},
+		PerKind:    make(map[string]int64),
+	}
+	before := cfg.Engine.Stats()
+
+	var (
+		mu       sync.Mutex // guards res.PerKind, res.Retries
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(client)*7919))
+			for n := 0; n < cfg.TxnsPerClient; n++ {
+				kind := pick(cfg.Mix, totalWeight, r)
+				t0 := time.Now()
+				retries, err := runOne(cfg.Engine, kind, r, cfg.MaxRetries, cfg.OpDelay)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("sim: client %d: %w", client, err) })
+					return
+				}
+				res.Latency.Observe(time.Since(t0))
+				mu.Lock()
+				res.PerKind[kind.Name]++
+				res.Retries += int64(retries)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Committed = int64(cfg.Clients) * int64(cfg.TxnsPerClient)
+	res.Stats = cfg.Engine.Stats().Sub(before)
+	return res, nil
+}
+
+// delayTxn wraps a transaction, paying a fixed latency per operation.
+type delayTxn struct {
+	cc.Txn
+	d time.Duration
+}
+
+// Read implements cc.Txn with the injected latency.
+func (t *delayTxn) Read(g schema.GranuleID) ([]byte, error) {
+	time.Sleep(t.d)
+	return t.Txn.Read(g)
+}
+
+// Write implements cc.Txn with the injected latency.
+func (t *delayTxn) Write(g schema.GranuleID, v []byte) error {
+	time.Sleep(t.d)
+	return t.Txn.Write(g, v)
+}
+
+func pick(mix []TxnKind, total int, r *rand.Rand) *TxnKind {
+	n := r.Intn(total)
+	for i := range mix {
+		n -= mix[i].Weight
+		if n < 0 {
+			return &mix[i]
+		}
+	}
+	return &mix[len(mix)-1]
+}
+
+// runOne executes a single transaction to commit, retrying aborted
+// attempts. It returns the number of retries consumed.
+func runOne(eng cc.Engine, kind *TxnKind, r *rand.Rand, maxRetries int, opDelay time.Duration) (int, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > maxRetries {
+			return attempt, fmt.Errorf("transaction %q exceeded %d retries", kind.Name, maxRetries)
+		}
+		var (
+			t   cc.Txn
+			err error
+		)
+		if kind.ReadOnly {
+			t, err = eng.BeginReadOnly()
+		} else {
+			t, err = eng.Begin(kind.Class)
+		}
+		if err != nil {
+			return attempt, err
+		}
+		if opDelay > 0 {
+			t = &delayTxn{Txn: t, d: opDelay}
+		}
+		if err := kind.Fn(t, r); err != nil {
+			_ = t.Abort()
+			if cc.IsAbort(err) {
+				continue
+			}
+			return attempt, err
+		}
+		if err := t.Commit(); err != nil {
+			if cc.IsAbort(err) || errors.Is(err, cc.ErrTxnDone) {
+				continue
+			}
+			return attempt, err
+		}
+		return attempt, nil
+	}
+}

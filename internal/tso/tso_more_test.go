@@ -1,0 +1,141 @@
+package tso
+
+import (
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+)
+
+// TestBasicTOWriterWaitsForOlderPrewrite: a younger writer queues behind an
+// older outstanding prewrite instead of clobbering it.
+func TestBasicTOWriterWaitsForOlderPrewrite(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	older, _ := e.Begin(0)
+	younger, _ := e.Begin(0)
+	if err := older.Write(gr(10), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- younger.Write(gr(10), []byte("second")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("younger write did not wait: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("younger write after wait: %v", err)
+	}
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(0)
+	if v, err := r.Read(gr(10)); err != nil || string(v) != "second" {
+		t.Fatalf("final value = %q %v", v, err)
+	}
+	_ = r.Commit()
+	if e.Stats().BlockedWrites == 0 {
+		t.Fatal("blocked write not counted")
+	}
+}
+
+// TestBasicTOOlderWriterRejectedBehindYoungerPrewrite: the prewrite slot
+// rejects an older writer outright.
+func TestBasicTOOlderWriterRejectedBehindYoungerPrewrite(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	older, _ := e.Begin(0)
+	younger, _ := e.Begin(0)
+	if err := younger.Write(gr(11), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	err := older.Write(gr(11), []byte("o"))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonWriteRejected {
+		t.Fatalf("err = %v", err)
+	}
+	if err := younger.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBasicTOOverwriteOwnPrewrite: rewriting the same granule inside one
+// transaction replaces the buffered value.
+func TestBasicTOOverwriteOwnPrewrite(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	tx, _ := e.Begin(0)
+	if err := tx.Write(gr(12), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(gr(12), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(0)
+	if v, _ := r.Read(gr(12)); string(v) != "b" {
+		t.Fatalf("value = %q", v)
+	}
+	_ = r.Commit()
+}
+
+func TestBasicTOOpsAfterDone(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	tx, _ := e.Begin(0)
+	_ = tx.Commit()
+	if err := tx.Commit(); err != cc.ErrTxnDone {
+		t.Fatalf("double commit = %v", err)
+	}
+	if _, err := tx.Read(gr(13)); err != cc.ErrTxnDone {
+		t.Fatalf("read after done = %v", err)
+	}
+	if err := tx.Write(gr(13), nil); err != cc.ErrTxnDone {
+		t.Fatalf("write after done = %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Clock() == nil {
+		t.Fatal("nil clock")
+	}
+}
+
+func TestMVTOOpsAfterDoneAndAbort(t *testing.T) {
+	e := NewMVTO(MVTOConfig{})
+	tx, _ := e.Begin(0)
+	if err := tx.Write(gr(14), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(gr(14)); err != cc.ErrTxnDone {
+		t.Fatalf("read after abort = %v", err)
+	}
+	r, _ := e.Begin(0)
+	if v, _ := r.Read(gr(14)); v != nil {
+		t.Fatalf("aborted write visible: %q", v)
+	}
+	_ = r.Commit()
+	if e.Store() == nil || e.Clock() == nil {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestMVTOOverwriteOwnWrite(t *testing.T) {
+	e := NewMVTO(MVTOConfig{})
+	tx, _ := e.Begin(0)
+	_ = tx.Write(gr(15), []byte("a"))
+	_ = tx.Write(gr(15), []byte("b"))
+	if v, _ := tx.Read(gr(15)); string(v) != "b" {
+		t.Fatalf("own read = %q", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+package tso
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/sched"
+	"hdd/internal/schema"
+)
+
+func gr(key int) schema.GranuleID {
+	return schema.GranuleID{Segment: 0, Key: uint64(key)}
+}
+
+func TestBasicTOHappyPath(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	if e.Name() != "TO" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(1), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := w.Read(gr(1)); err != nil || string(v) != "v1" {
+		t.Fatalf("read-own-write = %q %v", v, err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(0)
+	if v, err := r.Read(gr(1)); err != nil || string(v) != "v1" {
+		t.Fatalf("read = %q %v", v, err)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().ReadRegistrations == 0 {
+		t.Fatal("basic TO reads must register")
+	}
+}
+
+// TestBasicTOReadRejection: a read arriving after a younger write is
+// rejected (read "from the past").
+func TestBasicTOReadRejection(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	old, _ := e.Begin(0) // older ts
+	young, _ := e.Begin(0)
+	if err := young.Write(gr(2), []byte("future")); err != nil {
+		t.Fatal(err)
+	}
+	if err := young.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := old.Read(gr(2))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonReadRejected {
+		t.Fatalf("err = %v, want read-rejected", err)
+	}
+	if e.Stats().RejectedReads != 1 {
+		t.Fatalf("RejectedReads = %d", e.Stats().RejectedReads)
+	}
+}
+
+// TestBasicTOWriteRejection: a write arriving after a younger read is
+// rejected.
+func TestBasicTOWriteRejection(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	old, _ := e.Begin(0)
+	young, _ := e.Begin(0)
+	if _, err := young.Read(gr(3)); err != nil {
+		t.Fatal(err)
+	}
+	err := old.Write(gr(3), []byte("late"))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonWriteRejected {
+		t.Fatalf("err = %v, want write-rejected", err)
+	}
+	_ = young.Commit()
+}
+
+// TestBasicTOReadWaitsForOlderPrewrite: commit-dependency avoidance — a
+// younger reader waits for an older prewrite's fate.
+func TestBasicTOReadWaitsForOlderPrewrite(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(4), []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(0)
+	got := make(chan string, 1)
+	go func() {
+		v, err := r.Read(gr(4))
+		if err != nil {
+			got <- "ERR:" + err.Error()
+			return
+		}
+		got <- string(v)
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("read did not wait: %q", v)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != "pending" {
+		t.Fatalf("read = %q", v)
+	}
+	_ = r.Commit()
+	if e.Stats().BlockedReads == 0 {
+		t.Fatal("blocked read not counted")
+	}
+}
+
+// TestBasicTOAbortedPrewriteInvisible: the waiting reader sees the old
+// value when the writer aborts.
+func TestBasicTOAbortedPrewriteInvisible(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	base, _ := e.Begin(0)
+	if err := base.Write(gr(5), []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	_ = base.Commit()
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(5), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Begin(0)
+	got := make(chan string, 1)
+	go func() {
+		v, _ := r.Read(gr(5))
+		got <- string(v)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = w.Abort()
+	if v := <-got; v != "base" {
+		t.Fatalf("read after abort = %q, want base", v)
+	}
+	_ = r.Commit()
+}
+
+func TestBasicTOReadOnlyNoSpecialTreatment(t *testing.T) {
+	e := NewBasic(BasicConfig{})
+	ro, _ := e.BeginReadOnly()
+	if _, err := ro.Read(gr(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Write(gr(6), nil); err == nil {
+		t.Fatal("read-only write should fail")
+	}
+	_ = ro.Commit()
+	if e.Stats().ReadRegistrations != 1 {
+		t.Fatal("read-only TO reads must register")
+	}
+}
+
+func TestMVTOBasics(t *testing.T) {
+	e := NewMVTO(MVTOConfig{})
+	if e.Name() != "MVTO" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(1), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// An older transaction reads around the newer version.
+	old, _ := e.Begin(0)
+	w2, _ := e.Begin(0)
+	if err := w2.Write(gr(1), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := old.Read(gr(1)); err != nil || string(v) != "v1" {
+		t.Fatalf("old read = %q %v, want v1 (reads never rejected)", v, err)
+	}
+	_ = old.Commit()
+	if e.Stats().RejectedReads != 0 {
+		t.Fatal("MVTO must not reject reads")
+	}
+}
+
+// TestMVTOWriteInvalidation mirrors Protocol B: a write below a registered
+// read is rejected.
+func TestMVTOWriteInvalidation(t *testing.T) {
+	e := NewMVTO(MVTOConfig{})
+	old, _ := e.Begin(0)
+	young, _ := e.Begin(0)
+	if _, err := young.Read(gr(2)); err != nil {
+		t.Fatal(err)
+	}
+	err := old.Write(gr(2), []byte("late"))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonWriteRejected {
+		t.Fatalf("err = %v, want write-rejected", err)
+	}
+	_ = young.Commit()
+}
+
+func TestMVTOEveryReadRegisters(t *testing.T) {
+	e := NewMVTO(MVTOConfig{})
+	w, _ := e.Begin(0)
+	_ = w.Write(gr(3), []byte("x"))
+	_ = w.Commit()
+	ro, _ := e.BeginReadOnly()
+	if _, err := ro.Read(gr(3)); err != nil {
+		t.Fatal(err)
+	}
+	_ = ro.Commit()
+	if e.Stats().ReadRegistrations != 1 {
+		t.Fatalf("ReadRegistrations = %d, want 1 (Reed'78 has no read-only fast path)", e.Stats().ReadRegistrations)
+	}
+}
+
+// TestSerializabilityUnderLoad for both TO engines.
+func TestSerializabilityUnderLoad(t *testing.T) {
+	engines := []func(cc.Recorder) cc.Engine{
+		func(r cc.Recorder) cc.Engine { return NewBasic(BasicConfig{Recorder: r}) },
+		func(r cc.Recorder) cc.Engine { return NewMVTO(MVTOConfig{Recorder: r}) },
+	}
+	for ei, mk := range engines {
+		rec := sched.NewRecorder()
+		e := mk(rec)
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(ei*10 + c)))
+				for i := 0; i < 50; i++ {
+					runRMW(e, r)
+				}
+			}(c)
+		}
+		wg.Wait()
+		g := rec.Build()
+		if !g.Serializable() {
+			t.Fatalf("engine %s schedule not serializable:\n%s", e.Name(), g.ExplainCycle())
+		}
+		if rec.NumCommitted() == 0 {
+			t.Fatal("vacuous")
+		}
+	}
+}
+
+func runRMW(e cc.Engine, r *rand.Rand) {
+	for attempt := 0; attempt < 200; attempt++ {
+		tx, _ := e.Begin(0)
+		err := func() error {
+			g := gr(r.Intn(8))
+			old, err := tx.Read(g)
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(g, append(old, 1)); err != nil {
+				return err
+			}
+			return tx.Commit()
+		}()
+		if err == nil {
+			return
+		}
+		_ = tx.Abort()
+		if !cc.IsAbort(err) {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package twopl implements the locking baselines the paper compares HDD
+// against (§1.3, Figure 10): strict two-phase locking (Eswaran/Gray'76)
+// with shared/exclusive locks, lock upgrade, and waits-for deadlock
+// detection; and MV2PL (after Chan'82 as cited by the paper), in which
+// read-only transactions read a start-time snapshot without taking any
+// locks.
+package twopl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared locks are compatible with other shared locks.
+	Shared Mode = iota
+	// Exclusive locks are incompatible with everything.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is wrapped into the abort error handed to a deadlock victim.
+var ErrDeadlock = fmt.Errorf("twopl: deadlock detected")
+
+// request is a queued lock request.
+type request struct {
+	txn  cc.TxnID
+	mode Mode
+	// grant is closed when the request is granted; err is set (before
+	// closing) if it is cancelled instead.
+	grant chan struct{}
+	err   error
+}
+
+// lockState is the state of one granule's lock.
+type lockState struct {
+	holders map[cc.TxnID]Mode
+	queue   []*request
+}
+
+// Manager is a lock manager with FIFO queuing, upgrades, and waits-for
+// deadlock detection at block time (the requester is the victim).
+type Manager struct {
+	mu    sync.Mutex
+	locks map[schema.GranuleID]*lockState
+	// held tracks each transaction's held granules for release.
+	held map[cc.TxnID]map[schema.GranuleID]Mode
+	// waitsFor[t] is the set of transactions t currently waits for.
+	waitsFor map[cc.TxnID]map[cc.TxnID]bool
+
+	deadlocks int64
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    make(map[schema.GranuleID]*lockState),
+		held:     make(map[cc.TxnID]map[schema.GranuleID]Mode),
+		waitsFor: make(map[cc.TxnID]map[cc.TxnID]bool),
+	}
+}
+
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// grantableLocked reports whether txn may hold g in mode right now:
+// compatible with all other holders and — when checkQueue is set, i.e. for
+// a brand-new request whose whole queue is ahead of it — not overtaking
+// earlier queued conflicting requests. Regrants of the queue head must not
+// consider the queue: everything else in it is behind the head.
+func (m *Manager) grantableLocked(ls *lockState, txn cc.TxnID, mode Mode, upgrade, checkQueue bool) bool {
+	for h, hm := range ls.holders {
+		if h == txn {
+			continue
+		}
+		if !compatible(mode, hm) {
+			return false
+		}
+	}
+	if upgrade {
+		// Upgrades jump the queue: the holder already blocks everyone.
+		return true
+	}
+	if !checkQueue {
+		return true
+	}
+	for _, q := range ls.queue {
+		if q.txn != txn && !compatible(mode, q.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// blockersLocked returns the transactions a request by txn for mode on ls
+// would wait for: conflicting holders plus conflicting earlier waiters.
+func (m *Manager) blockersLocked(ls *lockState, txn cc.TxnID, mode Mode) []cc.TxnID {
+	var out []cc.TxnID
+	for h, hm := range ls.holders {
+		if h != txn && !compatible(mode, hm) {
+			out = append(out, h)
+		}
+	}
+	for _, q := range ls.queue {
+		if q.txn != txn && (!compatible(mode, q.mode) || !compatible(q.mode, mode)) {
+			out = append(out, q.txn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// wouldDeadlockLocked reports whether adding edges txn→blockers closes a
+// cycle in the waits-for graph.
+func (m *Manager) wouldDeadlockLocked(txn cc.TxnID, blockers []cc.TxnID) bool {
+	// DFS from each blocker looking for txn.
+	seen := map[cc.TxnID]bool{}
+	var stack []cc.TxnID
+	stack = append(stack, blockers...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == txn {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for y := range m.waitsFor[x] {
+			stack = append(stack, y)
+		}
+	}
+	return false
+}
+
+// Acquire obtains g in the given mode for txn, blocking if necessary. It
+// returns ErrDeadlock (wrapped) if granting would close a waits-for cycle —
+// the requester is chosen as the victim and must abort. Re-acquiring an
+// already-held lock is a no-op; Shared-to-Exclusive upgrades are supported.
+// blocked reports whether the call had to wait.
+func (m *Manager) Acquire(txn cc.TxnID, g schema.GranuleID, mode Mode) (blocked bool, err error) {
+	m.mu.Lock()
+	ls := m.locks[g]
+	if ls == nil {
+		ls = &lockState{holders: make(map[cc.TxnID]Mode)}
+		m.locks[g] = ls
+	}
+	cur, holding := ls.holders[txn]
+	if holding && (cur == Exclusive || cur == mode) {
+		m.mu.Unlock()
+		return false, nil
+	}
+	upgrade := holding && cur == Shared && mode == Exclusive
+	if m.grantableLocked(ls, txn, mode, upgrade, true) {
+		m.grantLocked(ls, txn, g, mode)
+		m.mu.Unlock()
+		return false, nil
+	}
+	blockers := m.blockersLocked(ls, txn, mode)
+	if m.wouldDeadlockLocked(txn, blockers) {
+		m.deadlocks++
+		m.mu.Unlock()
+		return false, fmt.Errorf("%w: %v %s on %v", ErrDeadlock, txn, mode, g)
+	}
+	req := &request{txn: txn, mode: mode, grant: make(chan struct{})}
+	if upgrade {
+		// Upgraders go to the head of the queue.
+		ls.queue = append([]*request{req}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	if m.waitsFor[txn] == nil {
+		m.waitsFor[txn] = make(map[cc.TxnID]bool)
+	}
+	for _, b := range blockers {
+		m.waitsFor[txn][b] = true
+	}
+	m.mu.Unlock()
+
+	<-req.grant
+	return true, req.err
+}
+
+// grantLocked records txn as holding g in mode.
+func (m *Manager) grantLocked(ls *lockState, txn cc.TxnID, g schema.GranuleID, mode Mode) {
+	ls.holders[txn] = mode
+	if m.held[txn] == nil {
+		m.held[txn] = make(map[schema.GranuleID]Mode)
+	}
+	m.held[txn][g] = mode
+}
+
+// ReleaseAll releases every lock txn holds and cancels its queued requests,
+// then re-grants waiters. Strict 2PL calls this exactly once, at commit or
+// abort.
+func (m *Manager) ReleaseAll(txn cc.TxnID) {
+	m.mu.Lock()
+	var toGrant []*request
+	for g := range m.held[txn] {
+		ls := m.locks[g]
+		delete(ls.holders, txn)
+		toGrant = append(toGrant, m.regrantLocked(g, ls)...)
+	}
+	delete(m.held, txn)
+	delete(m.waitsFor, txn)
+	// Remove txn from other transactions' waits-for sets; their block may
+	// resolve via regrant below.
+	for _, wf := range m.waitsFor {
+		delete(wf, txn)
+	}
+	m.mu.Unlock()
+	for _, req := range toGrant {
+		close(req.grant)
+	}
+}
+
+// regrantLocked grants queued requests that have become compatible, in FIFO
+// order, returning them for notification outside the lock.
+func (m *Manager) regrantLocked(g schema.GranuleID, ls *lockState) []*request {
+	var granted []*request
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		upgrade := false
+		if cur, ok := ls.holders[req.txn]; ok && cur == Shared && req.mode == Exclusive {
+			upgrade = true
+		}
+		if !m.grantableLocked(ls, req.txn, req.mode, upgrade, false) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		m.grantLocked(ls, req.txn, g, req.mode)
+		delete(m.waitsFor[req.txn], req.txn)
+		// The grantee no longer waits for anyone on this granule; clear
+		// its waits-for set entirely if it has no other queued request
+		// (one outstanding request per transaction in 2PL).
+		delete(m.waitsFor, req.txn)
+		granted = append(granted, req)
+	}
+	return granted
+}
+
+// Deadlocks reports the number of deadlock victims chosen.
+func (m *Manager) Deadlocks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deadlocks
+}
+
+// HeldBy reports the mode txn holds on g, for tests.
+func (m *Manager) HeldBy(txn cc.TxnID, g schema.GranuleID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[g]
+	if ls == nil {
+		return 0, false
+	}
+	mode, ok := ls.holders[txn]
+	return mode, ok
+}

@@ -1,0 +1,50 @@
+package twopl
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hdd/internal/cc"
+)
+
+func BenchmarkUncontendedAcquireRelease(b *testing.B) {
+	m := NewManager()
+	g := gr(0, 1)
+	for i := 0; i < b.N; i++ {
+		txn := cc.TxnID(i + 1)
+		if _, err := m.Acquire(txn, g, Shared); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+func BenchmarkSharedFanIn(b *testing.B) {
+	m := NewManager()
+	g := gr(0, 2)
+	var ids atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			txn := cc.TxnID(ids.Add(1))
+			if _, err := m.Acquire(txn, g, Shared); err != nil {
+				b.Fatal(err)
+			}
+			m.ReleaseAll(txn)
+		}
+	})
+}
+
+func BenchmarkUpgrade(b *testing.B) {
+	m := NewManager()
+	g := gr(0, 3)
+	for i := 0; i < b.N; i++ {
+		txn := cc.TxnID(i + 1)
+		if _, err := m.Acquire(txn, g, Shared); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Acquire(txn, g, Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}

@@ -1,0 +1,375 @@
+package twopl
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/sched"
+	"hdd/internal/schema"
+)
+
+func gr(seg, key int) schema.GranuleID {
+	return schema.GranuleID{Segment: schema.SegmentID(seg), Key: uint64(key)}
+}
+
+func TestLockCompatibility(t *testing.T) {
+	m := NewManager()
+	if blocked, err := m.Acquire(1, gr(0, 1), Shared); blocked || err != nil {
+		t.Fatalf("first S: %v %v", blocked, err)
+	}
+	if blocked, err := m.Acquire(2, gr(0, 1), Shared); blocked || err != nil {
+		t.Fatalf("second S: %v %v", blocked, err)
+	}
+	// X must wait for both S holders.
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(3, gr(0, 1), Exclusive)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("X granted while S held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case <-done:
+		t.Fatal("X granted while one S still held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("X grant: %v", err)
+	}
+	if mode, ok := m.HeldBy(3, gr(0, 1)); !ok || mode != Exclusive {
+		t.Fatal("holder state wrong")
+	}
+}
+
+func TestLockReentrancyAndUpgrade(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Acquire(1, gr(0, 1), Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire S: no-op.
+	if blocked, err := m.Acquire(1, gr(0, 1), Shared); blocked || err != nil {
+		t.Fatal("reentrant S failed")
+	}
+	// Upgrade with no other holders: immediate.
+	if blocked, err := m.Acquire(1, gr(0, 1), Exclusive); blocked || err != nil {
+		t.Fatal("upgrade failed")
+	}
+	// S after X held by self: no-op.
+	if blocked, err := m.Acquire(1, gr(0, 1), Shared); blocked || err != nil {
+		t.Fatal("S under own X failed")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	a, b := gr(0, 1), gr(0, 2)
+	if _, err := m.Acquire(1, a, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, b, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// 1 waits for b.
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(1, b, Exclusive)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// 2 requesting a would close the cycle: must be refused as victim.
+	_, err := m.Acquire(2, a, Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatalf("waiter after victim release: %v", err)
+	}
+	if m.Deadlocks() != 1 {
+		t.Fatalf("Deadlocks = %d", m.Deadlocks())
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	m := NewManager()
+	g := gr(0, 3)
+	if _, err := m.Acquire(1, g, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire(2, g, Shared); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(1, g, Exclusive)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_, err := m.Acquire(2, g, Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second upgrader should be the victim, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatalf("first upgrader: %v", err)
+	}
+}
+
+func TestFIFONoStarvation(t *testing.T) {
+	m := NewManager()
+	g := gr(0, 4)
+	if _, err := m.Acquire(1, g, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// X waits behind the S holder.
+	xDone := make(chan struct{})
+	go func() {
+		if _, err := m.Acquire(2, g, Exclusive); err != nil {
+			t.Error(err)
+		}
+		close(xDone)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// A later S request must queue behind the X, not jump it.
+	sDone := make(chan struct{})
+	go func() {
+		if _, err := m.Acquire(3, g, Shared); err != nil {
+			t.Error(err)
+		}
+		close(sDone)
+	}()
+	select {
+	case <-sDone:
+		t.Fatal("late S overtook queued X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	<-xDone
+	m.ReleaseAll(2)
+	<-sDone
+}
+
+func newStrict(t testing.TB, rec cc.Recorder) *Engine {
+	t.Helper()
+	return NewEngine(Config{Variant: Strict, Recorder: rec})
+}
+
+func TestStrict2PLBasic(t *testing.T) {
+	e := newStrict(t, nil)
+	tx, _ := e.Begin(0)
+	if err := tx.Write(gr(0, 1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(gr(0, 1)); err != nil || string(v) != "v" {
+		t.Fatalf("read-own-write: %q %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := e.Begin(0)
+	if v, err := tx2.Read(gr(0, 1)); err != nil || string(v) != "v" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ReadRegistrations == 0 {
+		t.Fatal("2PL reads must register (take S locks)")
+	}
+	if e.Name() != "2PL" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+func TestStrict2PLDeadlockAborts(t *testing.T) {
+	e := newStrict(t, nil)
+	a, b := gr(0, 1), gr(0, 2)
+	t1, _ := e.Begin(0)
+	t2, _ := e.Begin(0)
+	if err := t1.Write(a, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(b, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- t1.Write(b, []byte("1b")) }()
+	time.Sleep(20 * time.Millisecond)
+	err := t2.Write(a, []byte("2a"))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonDeadlock {
+		t.Fatalf("err = %v, want deadlock abort", err)
+	}
+	// t2's abort released its locks; t1 proceeds.
+	if err := <-done; err != nil {
+		t.Fatalf("t1 blocked write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Deadlocks != 1 {
+		t.Fatalf("Deadlocks = %d", e.Stats().Deadlocks)
+	}
+}
+
+func TestMV2PLSnapshotReadOnly(t *testing.T) {
+	e := NewEngine(Config{Variant: MultiVersion})
+	if e.Name() != "MV2PL" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(0, 1), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot taken now does not see a later commit.
+	ro, _ := e.BeginReadOnly()
+	w2, _ := e.Begin(0)
+	if err := w2.Write(gr(0, 1), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ro.Read(gr(0, 1)); err != nil || string(v) != "v1" {
+		t.Fatalf("snapshot read = %q %v, want v1", v, err)
+	}
+	if err := ro.Write(gr(0, 1), nil); err == nil {
+		t.Fatal("snapshot txn write should fail")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot reads take no locks and register nothing.
+	if got := e.Stats().ReadRegistrations; got != 0 {
+		t.Fatalf("ReadRegistrations = %d, want 0 (writer never read)", got)
+	}
+
+	ro2, _ := e.BeginReadOnly()
+	if v, _ := ro2.Read(gr(0, 1)); string(v) != "v2" {
+		t.Fatalf("new snapshot = %q, want v2", v)
+	}
+	_ = ro2.Commit()
+}
+
+// TestMV2PLSnapshotNotBlockedByWriter: the Figure 10 "never block or
+// reject" row — a snapshot reader proceeds while an update transaction
+// holds an exclusive lock.
+func TestMV2PLSnapshotNotBlockedByWriter(t *testing.T) {
+	e := NewEngine(Config{Variant: MultiVersion})
+	w, _ := e.Begin(0)
+	if err := w.Write(gr(0, 5), []byte("locked")); err != nil {
+		t.Fatal(err)
+	}
+	ro, _ := e.BeginReadOnly()
+	done := make(chan struct{})
+	go func() {
+		if v, err := ro.Read(gr(0, 5)); err != nil || v != nil {
+			t.Errorf("snapshot read under X lock = %q %v, want absent", v, err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("snapshot read blocked by exclusive lock")
+	}
+	_ = ro.Commit()
+	_ = w.Abort()
+}
+
+func TestStrictReadOnlyLocks(t *testing.T) {
+	e := newStrict(t, nil)
+	ro, _ := e.BeginReadOnly()
+	if _, err := ro.Read(gr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Write(gr(0, 1), nil); err == nil {
+		t.Fatal("read-only write should fail")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().ReadRegistrations != 1 {
+		t.Fatalf("strict read-only should register reads; got %d", e.Stats().ReadRegistrations)
+	}
+}
+
+// TestSerializabilityUnderLoad: strict 2PL and MV2PL produce serializable
+// schedules under concurrent read-modify-write load.
+func TestSerializabilityUnderLoad(t *testing.T) {
+	for _, variant := range []Variant{Strict, MultiVersion} {
+		rec := sched.NewRecorder()
+		e := NewEngine(Config{Variant: variant, Recorder: rec})
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(c)))
+				for i := 0; i < 50; i++ {
+					runRMW(e, r)
+				}
+			}(c)
+		}
+		wg.Wait()
+		g := rec.Build()
+		if !g.Serializable() {
+			t.Fatalf("variant %d schedule not serializable:\n%s", variant, g.ExplainCycle())
+		}
+		if rec.NumCommitted() == 0 {
+			t.Fatal("vacuous")
+		}
+	}
+}
+
+func runRMW(e *Engine, r *rand.Rand) {
+	for attempt := 0; attempt < 100; attempt++ {
+		var err error
+		if r.Intn(5) == 0 {
+			tx, _ := e.BeginReadOnly()
+			for i := 0; i < 3 && err == nil; i++ {
+				_, err = tx.Read(gr(0, r.Intn(8)))
+			}
+			if err == nil {
+				err = tx.Commit()
+			} else {
+				_ = tx.Abort()
+			}
+		} else {
+			tx, _ := e.Begin(0)
+			err = func() error {
+				g := gr(0, r.Intn(8))
+				old, err := tx.Read(g)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(g, append(old, 1)); err != nil {
+					return err
+				}
+				return tx.Commit()
+			}()
+			if err != nil {
+				_ = tx.Abort()
+			}
+		}
+		if err == nil {
+			return
+		}
+		if !cc.IsAbort(err) {
+			panic(err)
+		}
+	}
+}

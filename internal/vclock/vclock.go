@@ -1,0 +1,74 @@
+// Package vclock provides the logical clock used throughout the HDD
+// reproduction.
+//
+// The paper (Hsu 1982, §4) reasons about transaction initiation times I(t),
+// commit times C(t) and version write timestamps TS(d^v) purely as a totally
+// ordered set of instants; nothing depends on wall-clock durations. A
+// Lamport-style logical clock therefore preserves every property the proofs
+// rely on while making the activity functions I_old and C_late exact and the
+// whole system deterministic under test.
+package vclock
+
+import "sync/atomic"
+
+// Time is a logical instant. Larger is later. The zero Time precedes every
+// instant a Clock can produce.
+type Time int64
+
+// Infinity is a Time later than any instant a Clock will ever produce. It is
+// used as the completion time of transactions that are still active.
+const Infinity Time = 1<<63 - 1
+
+// Before reports whether m is strictly earlier than n.
+func (m Time) Before(n Time) bool { return m < n }
+
+// After reports whether m is strictly later than n.
+func (m Time) After(n Time) bool { return m > n }
+
+// Min returns the earlier of m and n.
+func Min(m, n Time) Time {
+	if m < n {
+		return m
+	}
+	return n
+}
+
+// Max returns the later of m and n.
+func Max(m, n Time) Time {
+	if m > n {
+		return m
+	}
+	return n
+}
+
+// Clock issues strictly increasing logical instants. It is safe for
+// concurrent use; every call to Tick returns a Time never returned before
+// and later than all previously returned Times.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a Clock whose first Tick returns 1.
+func NewClock() *Clock { return &Clock{} }
+
+// Tick advances the clock and returns the new instant.
+func (c *Clock) Tick() Time { return Time(c.now.Add(1)) }
+
+// Now returns the most recently issued instant without advancing the clock.
+// It returns 0 if Tick has never been called.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
+
+// Observe advances the clock to at least t, implementing the Lamport merge
+// rule for externally observed instants. It returns the clock's current
+// instant after the merge.
+func (c *Clock) Observe(t Time) Time {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return Time(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickStrictlyIncreasing(t *testing.T) {
+	c := NewClock()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		n := c.Tick()
+		if n <= prev {
+			t.Fatalf("tick %d not after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestNowDoesNotAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock Now = %d, want 0", c.Now())
+	}
+	c.Tick()
+	a := c.Now()
+	b := c.Now()
+	if a != b {
+		t.Fatalf("Now advanced: %d then %d", a, b)
+	}
+}
+
+func TestConcurrentTicksUnique(t *testing.T) {
+	c := NewClock()
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	results := make([][]Time, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Time, per)
+			for i := range out {
+				out[i] = c.Tick()
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Time]bool, workers*per)
+	for _, r := range results {
+		for _, v := range r {
+			if seen[v] {
+				t.Fatalf("duplicate tick %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if got, want := c.Now(), Time(workers*per); got != want {
+		t.Fatalf("final Now = %d, want %d", got, want)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	c := NewClock()
+	c.Tick()
+	if got := c.Observe(100); got != 100 {
+		t.Fatalf("Observe(100) = %d, want 100", got)
+	}
+	if got := c.Observe(50); got != 100 {
+		t.Fatalf("Observe(50) = %d, want 100 (no regress)", got)
+	}
+	if n := c.Tick(); n != 101 {
+		t.Fatalf("Tick after Observe = %d, want 101", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	if !Time(1).Before(2) || Time(2).Before(2) || Time(3).Before(2) {
+		t.Fatal("Before broken")
+	}
+	if !Time(3).After(2) || Time(2).After(2) || Time(1).After(2) {
+		t.Fatal("After broken")
+	}
+}
+
+func TestInfinityLaterThanTicks(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 100; i++ {
+		if n := c.Tick(); !n.Before(Infinity) {
+			t.Fatalf("tick %d not before Infinity", n)
+		}
+	}
+}
+
+func TestMinMaxProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mn, mx := Min(x, y), Max(x, y)
+		return mn <= mx && (mn == x || mn == y) && (mx == x || mx == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

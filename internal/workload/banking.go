@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+// Banking is the Figure 1 example: a single accounts segment with deposit
+// and withdrawal transactions. One segment, one class that reads and
+// writes it — the degenerate hierarchy every engine must of course still
+// handle (under HDD everything is Protocol B).
+type Banking struct {
+	accounts int
+	part     *schema.Partition
+}
+
+// SegAccounts is the banking database's only segment.
+const SegAccounts schema.SegmentID = 0
+
+// ClassTeller is the banking database's only update class.
+const ClassTeller schema.ClassID = 0
+
+// NewBanking builds the Figure 1 banking application with the given number
+// of accounts.
+func NewBanking(accounts int) (*Banking, error) {
+	if accounts <= 0 {
+		accounts = 16
+	}
+	part, err := schema.NewPartition(
+		[]string{"accounts"},
+		[]schema.ClassSpec{{Name: "teller", Writes: SegAccounts}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Banking{accounts: accounts, part: part}, nil
+}
+
+// Partition returns the banking partition.
+func (w *Banking) Partition() *schema.Partition { return w.part }
+
+// Accounts returns the number of accounts.
+func (w *Banking) Accounts() int { return w.accounts }
+
+// AccountKey returns the granule of one account's balance.
+func AccountKey(acct int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegAccounts, Key: uint64(acct)}
+}
+
+// Transfer is the deposit/withdraw transaction of Figure 1: read a
+// balance, adjust it, write it back. Run concurrently without control this
+// loses updates; under any sound engine the sum of all balances always
+// equals the sum of applied deltas.
+func (w *Banking) Transfer(t cc.Txn, r *rand.Rand) error {
+	acct := r.Intn(w.accounts)
+	delta := int64(1 + r.Intn(100))
+	if r.Intn(2) == 0 {
+		delta = -delta
+	}
+	b, err := t.Read(AccountKey(acct))
+	if err != nil {
+		return err
+	}
+	return t.Write(AccountKey(acct), PutInt64(GetInt64(b)+delta))
+}
+
+// TransferDelta performs a deterministic adjustment on a specific account,
+// for scripted tests.
+func (w *Banking) TransferDelta(t cc.Txn, acct int, delta int64) error {
+	b, err := t.Read(AccountKey(acct))
+	if err != nil {
+		return err
+	}
+	return t.Write(AccountKey(acct), PutInt64(GetInt64(b)+delta))
+}
+
+// AuditSum reads every balance and returns the total — the consistency
+// probe used by the lost-update experiment and the integration tests.
+func (w *Banking) AuditSum(t cc.Txn) (int64, error) {
+	var sum int64
+	for a := 0; a < w.accounts; a++ {
+		b, err := t.Read(AccountKey(a))
+		if err != nil {
+			return 0, err
+		}
+		sum += GetInt64(b)
+	}
+	return sum, nil
+}

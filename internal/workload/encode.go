@@ -1,0 +1,28 @@
+// Package workload provides the applications the experiments run: the
+// paper's §1.2.1 retail-inventory database (types 1, 2, 3 and the supplier
+// profile extension the paper sketches), the Figure 1 banking example, and
+// parameterized synthetic hierarchies for sweeps.
+//
+// Every workload is expressed as transaction closures over the
+// engine-neutral cc.Txn interface, so the same application logic drives
+// HDD and every baseline identically.
+package workload
+
+import "encoding/binary"
+
+// PutInt64 encodes v as the canonical 8-byte value the workloads store.
+func PutInt64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// GetInt64 decodes a value previously encoded with PutInt64. Nil (granule
+// absent) decodes to 0, which every workload treats as the natural initial
+// value of a counter or balance.
+func GetInt64(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,379 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+// The paper's §1.2.1 retail-inventory application (Figure 2), decomposed
+// into the TST-legal hierarchy its transaction analysis induces:
+//
+//	D0 events     — sales, sales-modification and merchandise-arrival
+//	                records (type-1 transactions write here and read only
+//	                here: append events, bump per-item sequence counters)
+//	D1 inventory  — per-item current inventory level and the last event
+//	                sequence folded in (type-2 transactions write here and
+//	                read D0)
+//	D2 on-order   — merchandise-on-order records (type-3 transactions
+//	                write here and read D0 and D1)
+//	D3 profiles   — supplier profile records (the paper's "as the list
+//	                goes on" extension: reads D0 and D2, writes D3)
+//	D4 audit      — optional side branch: reads D0, writes D4. With it the
+//	                DHG stops being a single chain, so reads that span D1
+//	                and D4 are off every critical path and exercise time
+//	                walls (Figures 8–9).
+//
+// The DHG reduces to the chain D3→D2→D1→D0 (plus D4→D0 with the audit
+// branch), a transitive semi-tree.
+const (
+	SegEvents schema.SegmentID = iota
+	SegInventory
+	SegOnOrder
+	SegProfiles
+	SegAudit // only present with WithAudit
+)
+
+// Update-transaction classes, one per segment.
+const (
+	ClassEventEntry schema.ClassID = iota // type 1
+	ClassInventory                        // type 2
+	ClassReorder                          // type 3
+	ClassProfiles                         // profile builder
+	ClassAudit                            // audit branch (WithAudit only)
+)
+
+// Granule key layout within segments.
+const (
+	counterBit = uint64(1) << 63 // per-item sequence/order counters
+	lastSeqBit = uint64(1) << 62 // inventory: last folded event sequence
+)
+
+// EventCounterKey returns the granule holding item's event sequence
+// counter (segment D0).
+func EventCounterKey(item int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegEvents, Key: counterBit | uint64(item)}
+}
+
+// EventKey returns the granule of event seq for item (segment D0).
+func EventKey(item int, seq int64) schema.GranuleID {
+	return schema.GranuleID{Segment: SegEvents, Key: uint64(item)<<32 | uint64(seq)&0xffffffff}
+}
+
+// LevelKey returns item's current-inventory-level granule (segment D1).
+func LevelKey(item int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegInventory, Key: uint64(item)}
+}
+
+// LastSeqKey returns item's last-folded-event-sequence granule (segment D1).
+func LastSeqKey(item int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegInventory, Key: lastSeqBit | uint64(item)}
+}
+
+// OrderCounterKey returns item's on-order sequence counter (segment D2).
+func OrderCounterKey(item int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegOnOrder, Key: counterBit | uint64(item)}
+}
+
+// OrderKey returns the granule of on-order record seq for item (segment D2).
+func OrderKey(item int, seq int64) schema.GranuleID {
+	return schema.GranuleID{Segment: SegOnOrder, Key: uint64(item)<<32 | uint64(seq)&0xffffffff}
+}
+
+// ProfileKey returns supplier's profile granule (segment D3).
+func ProfileKey(supplier int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegProfiles, Key: uint64(supplier)}
+}
+
+// AuditKey returns item's audit-summary granule (segment D4).
+func AuditKey(item int) schema.GranuleID {
+	return schema.GranuleID{Segment: SegAudit, Key: uint64(item)}
+}
+
+// InventoryConfig sizes the inventory application.
+type InventoryConfig struct {
+	// Items is the number of merchandise items. Defaults to 64.
+	Items int
+	// Suppliers is the number of suppliers. Defaults to 8.
+	Suppliers int
+	// WithAudit adds the D4 audit branch, turning the chain DHG into a
+	// tree (needed by the time-wall experiments).
+	WithAudit bool
+	// ReorderPoint is the gross inventory level below which a type-3
+	// transaction places an order. Defaults to 0.
+	ReorderPoint int64
+	// ScanWindow bounds how many event records types 2/3/4 visit per run.
+	// Defaults to 32.
+	ScanWindow int64
+}
+
+func (c *InventoryConfig) defaults() {
+	if c.Items <= 0 {
+		c.Items = 64
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 8
+	}
+	if c.ScanWindow <= 0 {
+		c.ScanWindow = 32
+	}
+}
+
+// Inventory is an instantiated inventory application bound to a partition.
+type Inventory struct {
+	cfg  InventoryConfig
+	part *schema.Partition
+}
+
+// NewInventoryPartition builds the validated TST-legal partition of the
+// inventory application (Figure 2 plus extensions).
+func NewInventoryPartition(withAudit bool) (*schema.Partition, error) {
+	names := []string{"events", "inventory", "on-order", "profiles"}
+	classes := []schema.ClassSpec{
+		{Name: "type-1 event entry", Writes: SegEvents},
+		{Name: "type-2 inventory posting", Writes: SegInventory, Reads: []schema.SegmentID{SegEvents}},
+		{Name: "type-3 reorder check", Writes: SegOnOrder, Reads: []schema.SegmentID{SegEvents, SegInventory}},
+		{Name: "supplier profile builder", Writes: SegProfiles, Reads: []schema.SegmentID{SegEvents, SegOnOrder}},
+	}
+	if withAudit {
+		names = append(names, "audit")
+		classes = append(classes, schema.ClassSpec{
+			Name: "event audit", Writes: SegAudit, Reads: []schema.SegmentID{SegEvents},
+		})
+	}
+	return schema.NewPartition(names, classes)
+}
+
+// NewInventory builds the application over a fresh partition.
+func NewInventory(cfg InventoryConfig) (*Inventory, error) {
+	cfg.defaults()
+	part, err := NewInventoryPartition(cfg.WithAudit)
+	if err != nil {
+		return nil, err
+	}
+	return &Inventory{cfg: cfg, part: part}, nil
+}
+
+// Partition returns the application's partition.
+func (w *Inventory) Partition() *schema.Partition { return w.part }
+
+// Config returns the effective configuration.
+func (w *Inventory) Config() InventoryConfig { return w.cfg }
+
+// EventEntry is the type-1 transaction: record a sale (negative delta),
+// sales modification, or merchandise arrival (positive delta) for a random
+// item. It reads and writes only the events segment (its root).
+func (w *Inventory) EventEntry(t cc.Txn, r *rand.Rand) error {
+	item := r.Intn(w.cfg.Items)
+	delta := int64(1 + r.Intn(9))
+	if r.Intn(2) == 0 {
+		delta = -delta // a sale
+	}
+	ctr, err := t.Read(EventCounterKey(item))
+	if err != nil {
+		return err
+	}
+	seq := GetInt64(ctr) + 1
+	if err := t.Write(EventKey(item, seq), PutInt64(delta)); err != nil {
+		return err
+	}
+	return t.Write(EventCounterKey(item), PutInt64(seq))
+}
+
+// PostInventory is the type-2 transaction: fold all events since the last
+// posting into the item's current inventory level. Reads of the events
+// segment are cross-class (Protocol A under HDD); the level and
+// last-sequence granules are root accesses.
+func (w *Inventory) PostInventory(t cc.Txn, r *rand.Rand) error {
+	item := r.Intn(w.cfg.Items)
+	return w.PostInventoryItem(t, item)
+}
+
+// PostInventoryItem folds all unprocessed events of one specific item —
+// the deterministic variant of PostInventory used by drain loops and
+// audits.
+func (w *Inventory) PostInventoryItem(t cc.Txn, item int) error {
+	ctr, err := t.Read(EventCounterKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	latest := GetInt64(ctr)
+	lastB, err := t.Read(LastSeqKey(item)) // root
+	if err != nil {
+		return err
+	}
+	last := GetInt64(lastB)
+	if latest > last+w.cfg.ScanWindow {
+		latest = last + w.cfg.ScanWindow
+	}
+	levelB, err := t.Read(LevelKey(item)) // root
+	if err != nil {
+		return err
+	}
+	level := GetInt64(levelB)
+	for seq := last + 1; seq <= latest; seq++ {
+		ev, err := t.Read(EventKey(item, seq)) // cross-class
+		if err != nil {
+			return err
+		}
+		if ev == nil {
+			// The event was admitted by the counter we saw, so it must be
+			// visible at the same threshold; absence means a broken
+			// engine, which the integration tests assert against.
+			return fmt.Errorf("workload: event %d/%d missing below counter %d", item, seq, latest)
+		}
+		level += GetInt64(ev)
+	}
+	if err := t.Write(LevelKey(item), PutInt64(level)); err != nil {
+		return err
+	}
+	return t.Write(LastSeqKey(item), PutInt64(latest))
+}
+
+// ReorderCheck is the type-3 transaction: compute the gross inventory level
+// (current level plus non-arrived on-order quantities), and place an order
+// if it falls below the reorder point. Reads span the events and inventory
+// segments (cross-class) and the on-order segment (root).
+func (w *Inventory) ReorderCheck(t cc.Txn, r *rand.Rand) error {
+	item := r.Intn(w.cfg.Items)
+	levelB, err := t.Read(LevelKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	gross := GetInt64(levelB)
+	// Read recent arrival events (cross-class) the way the paper
+	// describes: the transaction verifies arrivals before adjusting
+	// records.
+	ctr, err := t.Read(EventCounterKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	latest := GetInt64(ctr)
+	for seq := latest - 2; seq <= latest; seq++ {
+		if seq < 1 {
+			continue
+		}
+		if _, err := t.Read(EventKey(item, seq)); err != nil { // cross-class
+			return err
+		}
+	}
+	octrB, err := t.Read(OrderCounterKey(item)) // root
+	if err != nil {
+		return err
+	}
+	orders := GetInt64(octrB)
+	lo := orders - w.cfg.ScanWindow
+	if lo < 1 {
+		lo = 1
+	}
+	for seq := lo; seq <= orders; seq++ {
+		ob, err := t.Read(OrderKey(item, seq)) // root
+		if err != nil {
+			return err
+		}
+		if q := GetInt64(ob); q > 0 {
+			gross += q // still on order (not arrived)
+		}
+	}
+	if gross < w.cfg.ReorderPoint {
+		qty := int64(10 + r.Intn(20))
+		if err := t.Write(OrderKey(item, orders+1), PutInt64(qty)); err != nil {
+			return err
+		}
+		return t.Write(OrderCounterKey(item), PutInt64(orders+1))
+	}
+	// Mark the oldest outstanding order arrived (adjusting the
+	// arrival-date field, per the paper) some of the time.
+	if orders >= 1 && r.Intn(4) == 0 {
+		seq := lo + r.Int63n(orders-lo+1)
+		return t.Write(OrderKey(item, seq), PutInt64(0))
+	}
+	return nil
+}
+
+// BuildProfile is the profile-builder transaction (the paper's "supplier
+// profile" extension): summarize recent events and on-order records into a
+// supplier profile. Reads span events and on-order (cross-class); writes go
+// to profiles (root).
+func (w *Inventory) BuildProfile(t cc.Txn, r *rand.Rand) error {
+	supplier := r.Intn(w.cfg.Suppliers)
+	item := r.Intn(w.cfg.Items)
+	var volume int64
+	ctr, err := t.Read(EventCounterKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	latest := GetInt64(ctr)
+	lo := latest - w.cfg.ScanWindow
+	if lo < 1 {
+		lo = 1
+	}
+	for seq := lo; seq <= latest; seq++ {
+		ev, err := t.Read(EventKey(item, seq)) // cross-class
+		if err != nil {
+			return err
+		}
+		if d := GetInt64(ev); d > 0 {
+			volume += d
+		}
+	}
+	octr, err := t.Read(OrderCounterKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	volume += GetInt64(octr)
+	old, err := t.Read(ProfileKey(supplier)) // root
+	if err != nil {
+		return err
+	}
+	return t.Write(ProfileKey(supplier), PutInt64(GetInt64(old)+volume))
+}
+
+// AuditEvents is the audit-branch transaction (requires WithAudit): count
+// events per item into an audit summary. Reads events (cross-class), writes
+// audit (root).
+func (w *Inventory) AuditEvents(t cc.Txn, r *rand.Rand) error {
+	item := r.Intn(w.cfg.Items)
+	ctr, err := t.Read(EventCounterKey(item)) // cross-class
+	if err != nil {
+		return err
+	}
+	old, err := t.Read(AuditKey(item)) // root
+	if err != nil {
+		return err
+	}
+	return t.Write(AuditKey(item), PutInt64(GetInt64(old)+GetInt64(ctr)))
+}
+
+// Report is the ad-hoc read-only transaction: inspect levels, outstanding
+// orders and (with the audit branch) audit summaries for a handful of
+// items. Under HDD it runs as a Protocol C transaction against a time
+// wall.
+func (w *Inventory) Report(t cc.Txn, r *rand.Rand) error {
+	n := 3 + r.Intn(3)
+	var sum int64
+	for i := 0; i < n; i++ {
+		item := r.Intn(w.cfg.Items)
+		lv, err := t.Read(LevelKey(item))
+		if err != nil {
+			return err
+		}
+		sum += GetInt64(lv)
+		oc, err := t.Read(OrderCounterKey(item))
+		if err != nil {
+			return err
+		}
+		sum += GetInt64(oc)
+		if w.cfg.WithAudit {
+			av, err := t.Read(AuditKey(item))
+			if err != nil {
+				return err
+			}
+			sum += GetInt64(av)
+		}
+	}
+	_ = sum
+	return nil
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+)
+
+// Topology names a synthetic hierarchy shape.
+type Topology uint8
+
+const (
+	// Chain builds D_{k-1} → … → D_1 → D_0: class i reads every segment
+	// above it. The deepest hierarchy per segment count.
+	Chain Topology = iota
+	// Star builds D_1..D_{k-1} → D_0: every class reads the shared root.
+	// The widest hierarchy; most class pairs are off-path.
+	Star
+	// Tree builds a complete binary-ish tree with arcs child → parent;
+	// each class reads its ancestors.
+	Tree
+)
+
+// SyntheticConfig parameterizes a synthetic hierarchical workload.
+type SyntheticConfig struct {
+	// Topology selects the hierarchy shape. Defaults to Chain.
+	Topology Topology
+	// Segments is the number of segments/classes (k ≥ 1). Defaults to 4.
+	Segments int
+	// GranulesPerSegment sizes each segment. Defaults to 1024.
+	GranulesPerSegment int
+	// HotFraction is the fraction of accesses that go to the hottest 1%
+	// of granules (contention knob). Defaults to 0 (uniform).
+	HotFraction float64
+	// OpsPerTxn is the number of operations per transaction. Defaults
+	// to 8.
+	OpsPerTxn int
+	// CrossReadFraction is the fraction of a transaction's reads that
+	// target higher segments rather than its root. Defaults to 0.5.
+	CrossReadFraction float64
+	// WritesPerTxn is the number of root-segment writes per transaction
+	// (drawn from OpsPerTxn; the rest are reads). Defaults to 2.
+	WritesPerTxn int
+}
+
+func (c *SyntheticConfig) defaults() {
+	if c.Segments <= 0 {
+		c.Segments = 4
+	}
+	if c.GranulesPerSegment <= 0 {
+		c.GranulesPerSegment = 1024
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 8
+	}
+	if c.CrossReadFraction == 0 {
+		c.CrossReadFraction = 0.5
+	}
+	if c.WritesPerTxn <= 0 {
+		c.WritesPerTxn = 2
+	}
+	if c.WritesPerTxn > c.OpsPerTxn {
+		c.WritesPerTxn = c.OpsPerTxn
+	}
+}
+
+// Synthetic is a generated hierarchical application.
+type Synthetic struct {
+	cfg  SyntheticConfig
+	part *schema.Partition
+	// above[i] lists the segments class i may read above its root.
+	above [][]schema.SegmentID
+}
+
+// NewSynthetic builds a synthetic application with a validated partition.
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
+	cfg.defaults()
+	k := cfg.Segments
+	names := make([]string, k)
+	above := make([][]schema.SegmentID, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("seg-%d", i)
+		above[i] = syntheticReads(cfg.Topology, i)
+	}
+	classes := make([]schema.ClassSpec, k)
+	for i := 0; i < k; i++ {
+		classes[i] = schema.ClassSpec{
+			Name:   fmt.Sprintf("class-%d", i),
+			Writes: schema.SegmentID(i),
+			Reads:  above[i],
+		}
+	}
+	part, err := schema.NewPartition(names, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &Synthetic{cfg: cfg, part: part, above: above}, nil
+}
+
+// syntheticReads returns the segments class i reads above its root under
+// the topology. Segment 0 is always the top.
+func syntheticReads(top Topology, i int) []schema.SegmentID {
+	if i == 0 {
+		return nil
+	}
+	switch top {
+	case Star:
+		return []schema.SegmentID{0}
+	case Tree:
+		// Parent of node i in a binary heap layout; read the whole
+		// ancestor chain.
+		var out []schema.SegmentID
+		for p := (i - 1) / 2; ; p = (p - 1) / 2 {
+			out = append(out, schema.SegmentID(p))
+			if p == 0 {
+				break
+			}
+		}
+		return out
+	default: // Chain
+		out := make([]schema.SegmentID, 0, i)
+		for j := i - 1; j >= 0; j-- {
+			out = append(out, schema.SegmentID(j))
+		}
+		return out
+	}
+}
+
+// Partition returns the synthetic partition.
+func (w *Synthetic) Partition() *schema.Partition { return w.part }
+
+// Config returns the effective configuration.
+func (w *Synthetic) Config() SyntheticConfig { return w.cfg }
+
+// granule picks a granule in segment s, honouring the hot-set skew.
+func (w *Synthetic) granule(s schema.SegmentID, r *rand.Rand) schema.GranuleID {
+	n := w.cfg.GranulesPerSegment
+	hot := n / 100
+	if hot < 1 {
+		hot = 1
+	}
+	var key int
+	if w.cfg.HotFraction > 0 && r.Float64() < w.cfg.HotFraction {
+		key = r.Intn(hot)
+	} else {
+		key = r.Intn(n)
+	}
+	return schema.GranuleID{Segment: s, Key: uint64(key)}
+}
+
+// UpdateTxn runs one synthetic update transaction of the given class:
+// WritesPerTxn read-modify-writes in the root segment, and the remaining
+// operations as reads split between the root and higher segments per
+// CrossReadFraction.
+func (w *Synthetic) UpdateTxn(class schema.ClassID) func(cc.Txn, *rand.Rand) error {
+	root := schema.SegmentID(class)
+	reads := w.above[class]
+	return func(t cc.Txn, r *rand.Rand) error {
+		nReads := w.cfg.OpsPerTxn - w.cfg.WritesPerTxn
+		for i := 0; i < nReads; i++ {
+			var g schema.GranuleID
+			if len(reads) > 0 && r.Float64() < w.cfg.CrossReadFraction {
+				g = w.granule(reads[r.Intn(len(reads))], r)
+			} else {
+				g = w.granule(root, r)
+			}
+			if _, err := t.Read(g); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < w.cfg.WritesPerTxn; i++ {
+			g := w.granule(root, r)
+			old, err := t.Read(g)
+			if err != nil {
+				return err
+			}
+			if err := t.Write(g, PutInt64(GetInt64(old)+1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ReadOnlyTxn runs one synthetic read-only transaction touching nTouch
+// granules spread over every segment — off every critical path for Star
+// and Tree topologies.
+func (w *Synthetic) ReadOnlyTxn(nTouch int) func(cc.Txn, *rand.Rand) error {
+	if nTouch <= 0 {
+		nTouch = 8
+	}
+	return func(t cc.Txn, r *rand.Rand) error {
+		for i := 0; i < nTouch; i++ {
+			s := schema.SegmentID(r.Intn(w.cfg.Segments))
+			if _, err := t.Read(w.granule(s, r)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdd/internal/cc"
+	"hdd/internal/core"
+	"hdd/internal/sched"
+	"hdd/internal/schema"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return GetInt64(PutInt64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if GetInt64(nil) != 0 || GetInt64([]byte{1, 2}) != 0 {
+		t.Fatal("short/nil values must decode to 0")
+	}
+}
+
+func TestInventoryPartitionShape(t *testing.T) {
+	p, err := NewInventoryPartition(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSegments() != 4 {
+		t.Fatalf("segments = %d", p.NumSegments())
+	}
+	// The chain D3→D2→D1→D0.
+	if !p.Higher(schema.ClassID(SegEvents), ClassProfiles) {
+		t.Fatal("events should be highest")
+	}
+	pa, err := NewInventoryPartition(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumSegments() != 5 {
+		t.Fatalf("audit segments = %d", pa.NumSegments())
+	}
+	// Audit and inventory are off one critical path.
+	if pa.OnOneCriticalPath([]schema.ClassID{ClassInventory, ClassAudit}) {
+		t.Fatal("audit and inventory should be off-path")
+	}
+}
+
+func TestKeyLayoutsDisjoint(t *testing.T) {
+	if EventCounterKey(3) == EventKey(3, 1) {
+		t.Fatal("counter and event keys collide")
+	}
+	if LevelKey(3) == LastSeqKey(3) {
+		t.Fatal("level and lastseq keys collide")
+	}
+	if OrderCounterKey(3) == OrderKey(3, 1) {
+		t.Fatal("order counter and order keys collide")
+	}
+	if EventKey(1, 2) == EventKey(2, 1) {
+		t.Fatal("event keys collide across items")
+	}
+}
+
+func newHDD(t testing.TB, part *schema.Partition, rec cc.Recorder) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(core.Config{Partition: part, Recorder: rec, WallInterval: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func run(t *testing.T, e cc.Engine, class schema.ClassID, readOnly bool, fn func(cc.Txn, *rand.Rand) error, r *rand.Rand) {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		var tx cc.Txn
+		var err error
+		if readOnly {
+			tx, err = e.BeginReadOnly()
+		} else {
+			tx, err = e.Begin(class)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(tx, r); err != nil {
+			_ = tx.Abort()
+			if cc.IsAbort(err) {
+				continue
+			}
+			t.Fatalf("txn body: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			if cc.IsAbort(err) {
+				continue
+			}
+			t.Fatalf("commit: %v", err)
+		}
+		return
+	}
+	t.Fatal("transaction never committed")
+}
+
+// TestInventoryConservation: after event entries and full inventory
+// postings, each item's level equals the sum of its event deltas — the
+// application-level integrity the paper's Figure 1 worries about.
+func TestInventoryConservation(t *testing.T) {
+	inv, err := NewInventory(InventoryConfig{Items: 4, ScanWindow: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newHDD(t, inv.Partition(), nil)
+	r := rand.New(rand.NewSource(5))
+
+	for i := 0; i < 200; i++ {
+		run(t, e, ClassEventEntry, false, inv.EventEntry, r)
+	}
+	// Post every item until no events remain unfolded.
+	for item := 0; item < 4; item++ {
+		item := item
+		for pass := 0; pass < 10; pass++ {
+			run(t, e, ClassInventory, false, func(tx cc.Txn, _ *rand.Rand) error {
+				return inv.PostInventoryItem(tx, item)
+			}, r)
+		}
+	}
+
+	// Audit with a path read-only transaction (events+inventory are on
+	// one critical path).
+	ro, err := e.BeginReadOnlyOnPath(ClassInventory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := 0; item < 4; item++ {
+		ctr, err := ro.Read(EventCounterKey(item))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := GetInt64(ctr)
+		var want int64
+		for seq := int64(1); seq <= n; seq++ {
+			ev, err := ro.Read(EventKey(item, seq))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev == nil {
+				t.Fatalf("item %d event %d missing", item, seq)
+			}
+			want += GetInt64(ev)
+		}
+		lastB, err := ro.Read(LastSeqKey(item))
+		if err != nil {
+			t.Fatal(err)
+		}
+		levelB, err := ro.Read(LevelKey(item))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if GetInt64(lastB) != n {
+			t.Fatalf("item %d: folded %d of %d events", item, GetInt64(lastB), n)
+		}
+		if GetInt64(levelB) != want {
+			t.Fatalf("item %d: level = %d, want %d", item, GetInt64(levelB), want)
+		}
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInventoryConservationBasicRoot repeats the conservation check under
+// the RootBasicTO Protocol B variant: aborts differ, results must not.
+func TestInventoryConservationBasicRoot(t *testing.T) {
+	inv, err := NewInventory(InventoryConfig{Items: 4, ScanWindow: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(core.Config{Partition: inv.Partition(), RootProtocol: core.RootBasicTO, WallInterval: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 150; i++ {
+		run(t, e, ClassEventEntry, false, inv.EventEntry, r)
+	}
+	for item := 0; item < 4; item++ {
+		item := item
+		for pass := 0; pass < 8; pass++ {
+			run(t, e, ClassInventory, false, func(tx cc.Txn, _ *rand.Rand) error {
+				return inv.PostInventoryItem(tx, item)
+			}, r)
+		}
+	}
+	ro, err := e.BeginReadOnlyOnPath(ClassInventory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := 0; item < 4; item++ {
+		ctr, _ := ro.Read(EventCounterKey(item))
+		n := GetInt64(ctr)
+		var want int64
+		for seq := int64(1); seq <= n; seq++ {
+			ev, err := ro.Read(EventKey(item, seq))
+			if err != nil || ev == nil {
+				t.Fatalf("item %d event %d: %v %v", item, seq, ev, err)
+			}
+			want += GetInt64(ev)
+		}
+		levelB, _ := ro.Read(LevelKey(item))
+		if GetInt64(levelB) != want {
+			t.Fatalf("item %d: level = %d, want %d", item, GetInt64(levelB), want)
+		}
+	}
+	_ = ro.Commit()
+}
+
+// TestInventoryMixedSerializable: the full transaction mix on the audit
+// partition stays serializable under HDD.
+func TestInventoryMixedSerializable(t *testing.T) {
+	inv, err := NewInventory(InventoryConfig{Items: 8, WithAudit: true, ReorderPoint: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sched.NewRecorder()
+	e := newHDD(t, inv.Partition(), rec)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 150; i++ {
+		switch r.Intn(6) {
+		case 0, 1:
+			run(t, e, ClassEventEntry, false, inv.EventEntry, r)
+		case 2:
+			run(t, e, ClassInventory, false, inv.PostInventory, r)
+		case 3:
+			run(t, e, ClassReorder, false, inv.ReorderCheck, r)
+		case 4:
+			switch r.Intn(2) {
+			case 0:
+				run(t, e, ClassProfiles, false, inv.BuildProfile, r)
+			default:
+				run(t, e, ClassAudit, false, inv.AuditEvents, r)
+			}
+		default:
+			run(t, e, schema.NoClass, true, inv.Report, r)
+		}
+	}
+	g := rec.Build()
+	if !g.Serializable() {
+		t.Fatalf("inventory mix not serializable:\n%s", g.ExplainCycle())
+	}
+}
+
+func TestBanking(t *testing.T) {
+	b, err := NewBanking(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Accounts() != 4 || b.Partition().NumSegments() != 1 {
+		t.Fatal("banking shape wrong")
+	}
+	e := newHDD(t, b.Partition(), nil)
+	r := rand.New(rand.NewSource(2))
+
+	var want int64
+	for i := 0; i < 50; i++ {
+		acct := r.Intn(4)
+		delta := int64(r.Intn(100) - 50)
+		want += delta
+		run(t, e, ClassTeller, false, func(tx cc.Txn, _ *rand.Rand) error {
+			return b.TransferDelta(tx, acct, delta)
+		}, r)
+	}
+	var got int64
+	run(t, e, ClassTeller, false, func(tx cc.Txn, _ *rand.Rand) error {
+		s, err := b.AuditSum(tx)
+		got = s
+		return err
+	}, r)
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestBankingDefaultsAndTransfer(t *testing.T) {
+	b, err := NewBanking(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Accounts() != 16 {
+		t.Fatalf("default accounts = %d", b.Accounts())
+	}
+	e := newHDD(t, b.Partition(), nil)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		run(t, e, ClassTeller, false, b.Transfer, r)
+	}
+}
+
+func TestSyntheticTopologies(t *testing.T) {
+	for _, top := range []Topology{Chain, Star, Tree} {
+		for _, k := range []int{1, 2, 5, 9} {
+			s, err := NewSynthetic(SyntheticConfig{Topology: top, Segments: k, GranulesPerSegment: 64})
+			if err != nil {
+				t.Fatalf("topology %d k=%d: %v", top, k, err)
+			}
+			if s.Partition().NumClasses() != k {
+				t.Fatalf("classes = %d", s.Partition().NumClasses())
+			}
+		}
+	}
+}
+
+func TestSyntheticRunsSerializable(t *testing.T) {
+	for _, top := range []Topology{Chain, Star, Tree} {
+		s, err := NewSynthetic(SyntheticConfig{
+			Topology: top, Segments: 5, GranulesPerSegment: 32,
+			OpsPerTxn: 6, WritesPerTxn: 2, HotFraction: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := sched.NewRecorder()
+		e := newHDD(t, s.Partition(), rec)
+		r := rand.New(rand.NewSource(int64(top)))
+		for i := 0; i < 100; i++ {
+			c := schema.ClassID(r.Intn(5))
+			if r.Intn(5) == 0 {
+				run(t, e, schema.NoClass, true, s.ReadOnlyTxn(6), r)
+			} else {
+				run(t, e, c, false, s.UpdateTxn(c), r)
+			}
+		}
+		if g := rec.Build(); !g.Serializable() {
+			t.Fatalf("topology %d not serializable:\n%s", top, g.ExplainCycle())
+		}
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	s, err := NewSynthetic(SyntheticConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Segments != 4 || cfg.OpsPerTxn != 8 || cfg.WritesPerTxn != 2 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
