@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet test race cover bench experiments examples check clean
 
 all: build vet test
+
+# The CI gate: static checks plus the full suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -73,6 +73,11 @@ type (
 // NoClass marks read-only transactions, which belong to no update class.
 const NoClass = schema.NoClass
 
+// ErrEngineClosed is returned by Begin/Read/Write — and by blocked reads
+// that were woken — after Engine.Close. It is not an abort: retrying
+// against a closed engine is pointless.
+var ErrEngineClosed = cc.ErrEngineClosed
+
 // NewPartition validates a hierarchical decomposition: one update class
 // per segment (class i rooted in segment i), with the induced data
 // hierarchy graph required to be a transitive semi-tree. See

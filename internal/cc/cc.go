@@ -47,8 +47,12 @@ type Txn interface {
 	Class() schema.ClassID
 	// Read returns the value of g visible to this transaction, or
 	// (nil, nil) if the granule does not exist at the visible instant.
+	//
+	// The returned slice is a defensive copy owned by the caller: mutating
+	// it never affects the store, other transactions, or subsequent reads.
 	Read(g schema.GranuleID) ([]byte, error)
-	// Write buffers or installs a new value for g.
+	// Write buffers or installs a new value for g. The engine copies
+	// value; the caller may reuse the slice after Write returns.
 	Write(g schema.GranuleID, value []byte) error
 	// Commit makes the transaction's writes durable and visible.
 	Commit() error
@@ -81,6 +85,10 @@ const (
 	ReasonDeadlock       = "deadlock"        // 2PL deadlock victim
 	ReasonUserAbort      = "user"            // client-requested abort
 	ReasonClassViolation = "class-violation" // access outside the declared class spec
+	// ReasonTimedOut marks a transaction killed for exceeding its
+	// deadline: either a blocked read that waited past it, or a stuck /
+	// abandoned transaction force-aborted by the engine's reaper.
+	ReasonTimedOut = "timed-out"
 )
 
 // IsAbort reports whether err (anywhere in its chain) is an AbortError.
@@ -101,6 +109,11 @@ func AbortReason(err error) string {
 // ErrTxnDone is returned by operations on a committed or aborted
 // transaction.
 var ErrTxnDone = errors.New("cc: transaction already finished")
+
+// ErrEngineClosed is returned by Begin/Read/Write after Engine.Close, and
+// by blocked reads that were woken because the engine shut down. It is not
+// an AbortError: retrying against a closed engine is pointless.
+var ErrEngineClosed = errors.New("cc: engine closed")
 
 // Counters is the set of cumulative metrics every engine maintains. All
 // fields are atomics so engines can update them from any goroutine; use
@@ -132,6 +145,12 @@ type Counters struct {
 	// wall / snapshot to become available (engines that never wait keep
 	// this zero).
 	WallWaits atomic.Int64
+	// ReapedTxns counts stuck transactions force-aborted by the engine's
+	// background reaper (deadline enforcement for abandoned clients).
+	ReapedTxns atomic.Int64
+	// TimedOutReads counts blocked reads that gave up because the
+	// transaction's deadline expired before the pending version resolved.
+	TimedOutReads atomic.Int64
 }
 
 // Stats is a plain snapshot of Counters.
@@ -143,6 +162,8 @@ type Stats struct {
 	RejectedReads, RejectedWrites int64
 	Deadlocks                     int64
 	WallWaits                     int64
+	ReapedTxns                    int64
+	TimedOutReads                 int64
 }
 
 // Snapshot copies the counters.
@@ -160,6 +181,8 @@ func (c *Counters) Snapshot() Stats {
 		RejectedWrites:    c.RejectedWrites.Load(),
 		Deadlocks:         c.Deadlocks.Load(),
 		WallWaits:         c.WallWaits.Load(),
+		ReapedTxns:        c.ReapedTxns.Load(),
+		TimedOutReads:     c.TimedOutReads.Load(),
 	}
 }
 
@@ -178,6 +201,8 @@ func (s Stats) Sub(o Stats) Stats {
 		RejectedWrites:    s.RejectedWrites - o.RejectedWrites,
 		Deadlocks:         s.Deadlocks - o.Deadlocks,
 		WallWaits:         s.WallWaits - o.WallWaits,
+		ReapedTxns:        s.ReapedTxns - o.ReapedTxns,
+		TimedOutReads:     s.TimedOutReads - o.TimedOutReads,
 	}
 }
 

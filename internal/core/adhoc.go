@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hdd/internal/cc"
 	"hdd/internal/schema"
@@ -38,6 +39,10 @@ import (
 // conflict closure) whose correctness argument the paper does not supply,
 // so this reproduction implements the conservative variant and documents
 // the delta in DESIGN.md.
+//
+// Because an ad-hoc transaction blocks every other update, an abandoned
+// one is the worst possible stall; it registers with the reaper like any
+// other transaction and is force-aborted past its deadline.
 
 // adhocGate is embedded in Engine.
 type adhocGate struct {
@@ -54,12 +59,18 @@ func (e *Engine) BeginAdHoc(writeSeg schema.SegmentID) (cc.Txn, error) {
 	if writeSeg < 0 || int(writeSeg) >= e.part.NumSegments() {
 		return nil, fmt.Errorf("core: unknown segment %d", writeSeg)
 	}
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
 	e.gate.mu.Lock() // waits for every update RLock holder to drain
 	class := schema.ClassID(writeSeg)
 	init := e.act.BeginTxn(int(class), e.clock)
 	e.ctr.Begins.Add(1)
 	e.rec.RecordBegin(init, class, false)
-	return &adhocTxn{eng: e, init: init, class: class}, nil
+	t := &adhocTxn{eng: e, init: init, class: class,
+		deadline: deadlineFor(e.txnTimeout)}
+	e.register(init, t)
+	return t, nil
 }
 
 // enterUpdate / exitUpdate bracket ordinary update transactions.
@@ -69,15 +80,22 @@ func (e *Engine) exitUpdate()  { e.gate.mu.RUnlock() }
 // adhocTxn runs solo: reads see the latest committed version of anything;
 // writes install at the transaction's timestamp in its write segment's
 // class, so subsequent Protocol A thresholds and walls account for it.
+// Like updateTxn, its state is mutex-guarded so the reaper can force-abort
+// it — releasing the exclusive gate — from another goroutine.
 type adhocTxn struct {
-	eng    *Engine
-	init   vclock.Time
-	class  schema.ClassID
-	done   bool
-	writes map[schema.GranuleID][]byte
+	eng      *Engine
+	init     vclock.Time
+	class    schema.ClassID
+	deadline time.Time
+
+	mu      sync.Mutex
+	done    bool
+	deadErr error
+	writes  map[schema.GranuleID][]byte
 }
 
 var _ cc.Txn = (*adhocTxn)(nil)
+var _ liveTxn = (*adhocTxn)(nil)
 
 // ID implements cc.Txn.
 func (t *adhocTxn) ID() cc.TxnID { return t.init }
@@ -85,18 +103,34 @@ func (t *adhocTxn) ID() cc.TxnID { return t.init }
 // Class implements cc.Txn: the class of the segment it writes.
 func (t *adhocTxn) Class() schema.ClassID { return t.class }
 
+func (t *adhocTxn) deadErrLocked() error {
+	if t.deadErr != nil {
+		return t.deadErr
+	}
+	return cc.ErrTxnDone
+}
+
 // Read implements cc.Txn: latest committed version — exact, because the
 // transaction runs alone among updates.
 func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
-	if t.done {
-		return nil, cc.ErrTxnDone
-	}
 	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return nil, err
+	}
 	e.ctr.Reads.Add(1)
 	if v, ok := t.writes[g]; ok {
+		out := append([]byte(nil), v...)
+		t.mu.Unlock()
 		e.rec.RecordRead(t.init, g, t.init, true)
-		return append([]byte(nil), v...), nil
+		return out, nil
 	}
+	t.mu.Unlock()
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
 	e.rec.RecordRead(t.init, g, vts, ok)
 	return val, nil
@@ -104,12 +138,19 @@ func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 
 // Write implements cc.Txn: restricted to the declared write segment.
 func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
-	if t.done {
-		return cc.ErrTxnDone
-	}
 	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	}
 	e.ctr.Writes.Add(1)
 	if g.Segment != schema.SegmentID(t.class) {
+		t.mu.Unlock()
 		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
 			Err: fmt.Errorf("ad-hoc transaction declared write segment %d, wrote %d", t.class, g.Segment)}
 		t.abort()
@@ -118,6 +159,7 @@ func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
 	if _, ok := t.writes[g]; ok {
 		e.store.UpdatePending(g, t.init, value)
 		t.writes[g] = append([]byte(nil), value...)
+		t.mu.Unlock()
 		return nil
 	}
 	if err := e.store.InstallChecked(g, t.init, value); err != nil {
@@ -125,6 +167,7 @@ func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
 		// path never registers, but an earlier update may have installed
 		// a version at a later timestamp before draining. Treat as an
 		// ordinary rejection.
+		t.mu.Unlock()
 		e.ctr.RejectedWrites.Add(1)
 		t.abort()
 		return &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: err}
@@ -134,20 +177,26 @@ func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
 	}
 	t.writes[g] = append([]byte(nil), value...)
 	e.rec.RecordWrite(t.init, g, t.init)
+	t.mu.Unlock()
 	return nil
 }
 
 // Commit implements cc.Txn.
 func (t *adhocTxn) Commit() error {
+	e := t.eng
+	t.mu.Lock()
 	if t.done {
-		return cc.ErrTxnDone
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
 	}
 	t.done = true
-	e := t.eng
 	for g := range t.writes {
 		e.store.Commit(g, t.init)
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
+	t.mu.Unlock()
+	e.unregister(t.init)
 	e.gate.mu.Unlock()
 	e.ctr.Commits.Add(1)
 	e.rec.RecordCommit(t.init, at)
@@ -157,25 +206,43 @@ func (t *adhocTxn) Commit() error {
 
 // Abort implements cc.Txn.
 func (t *adhocTxn) Abort() error {
-	if t.done {
-		return nil
-	}
 	t.abort()
 	return nil
 }
 
-func (t *adhocTxn) abort() {
+func (t *adhocTxn) abort() { t.finishAbort(nil, false) }
+
+func (t *adhocTxn) finishAbort(sticky error, reaped bool) bool {
+	t.mu.Lock()
 	if t.done {
-		return
+		t.mu.Unlock()
+		return false
 	}
 	t.done = true
+	t.deadErr = sticky
 	e := t.eng
 	for g := range t.writes {
 		e.store.Abort(g, t.init)
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
+	t.mu.Unlock()
+	e.unregister(t.init)
 	e.gate.mu.Unlock()
 	e.ctr.Aborts.Add(1)
+	if reaped {
+		e.ctr.ReapedTxns.Add(1)
+	}
 	e.rec.RecordAbort(t.init, at)
 	e.walls.Poll()
+	return true
+}
+
+// expiry implements liveTxn.
+func (t *adhocTxn) expiry() time.Time { return t.deadline }
+
+// reap implements liveTxn: force-aborting an abandoned ad-hoc transaction
+// releases the exclusive update gate, unblocking every Begin waiting on it.
+func (t *adhocTxn) reap() bool {
+	return t.finishAbort(&cc.AbortError{Reason: cc.ReasonTimedOut,
+		Err: fmt.Errorf("ad-hoc transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}, true)
 }

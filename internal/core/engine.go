@@ -18,11 +18,32 @@
 // A variant of Protocol A is also provided for read-only transactions whose
 // read set lies on a single critical path (§5, Figure 8): they run as a
 // fictitious class below the lowest class of the path.
+//
+// # Fault tolerance
+//
+// The paper assumes well-behaved transactions: C_late_i(m) only becomes
+// computable once every transaction initiated at or before m has resolved
+// (§5.1), so a single stalled or abandoned update transaction pins I_old,
+// freezes time-wall release, and stops garbage collection. The engine
+// therefore carries a liveness layer the paper leaves implicit:
+//
+//   - Config.TxnTimeout gives every transaction a deadline (per-transaction
+//     overrides via BeginWithTimeout). A Protocol B read blocked on a
+//     pending version wakes on deadline expiry and aborts with
+//     cc.ReasonTimedOut instead of waiting forever.
+//   - A background reaper (see reaper.go) force-aborts transactions still
+//     active past their deadline — releasing their pending versions,
+//     activity-table entries, and wall-floor acquisitions — which restores
+//     wall release and GC progress after a client crash.
+//   - Close is a real shutdown: it stops the reaper, wakes every blocked
+//     waiter with cc.ErrEngineClosed, and fails subsequent Begin/Read/Write.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdd/internal/activity"
 	"hdd/internal/alink"
@@ -68,6 +89,18 @@ type Config struct {
 	GCEveryCommits int64
 	// Recorder observes the produced schedule; nil means no recording.
 	Recorder cc.Recorder
+	// TxnTimeout is the wall-clock deadline applied to every transaction
+	// (BeginWithTimeout overrides it per transaction). A blocked Protocol B
+	// read wakes on expiry and aborts with cc.ReasonTimedOut; the
+	// background reaper force-aborts transactions that stay active past
+	// their deadline, restoring wall and GC progress after client crashes.
+	// Zero disables deadlines (and the reaper, unless ReapInterval is set).
+	TxnTimeout time.Duration
+	// ReapInterval is the reaper's scan period. Defaults to TxnTimeout/4
+	// (at least 1ms) when TxnTimeout is set. Setting ReapInterval alone
+	// starts the reaper for engines that only use per-transaction
+	// deadlines.
+	ReapInterval time.Duration
 }
 
 // Engine is the HDD concurrency-control engine. It is safe for concurrent
@@ -91,6 +124,19 @@ type Engine struct {
 	gcEvery       int64
 	commitCounter atomic.Int64
 	gcRuns        atomic.Int64
+
+	txnTimeout time.Duration
+
+	// closed is closed by Close; blocked waiters select on it, and
+	// Begin/Read/Write fail once it is closed.
+	closed    chan struct{}
+	closeOnce sync.Once
+	reaperWG  sync.WaitGroup
+
+	// live registers every in-flight transaction for the reaper; see
+	// reaper.go.
+	liveMu sync.Mutex
+	live   map[cc.TxnID]liveTxn
 }
 
 var _ cc.Engine = (*Engine)(nil)
@@ -115,24 +161,64 @@ func NewEngine(cfg Config) (*Engine, error) {
 	act := activity.NewSet(cfg.Partition.NumClasses())
 	links := alink.New(cfg.Partition, act)
 	e := &Engine{
-		part:      cfg.Partition,
-		clock:     cfg.Clock,
-		store:     mvstore.New(),
-		act:       act,
-		links:     links,
-		walls:     alink.NewWallManager(links, cfg.Clock, cfg.WallInterval, start),
-		rec:       cfg.Recorder,
-		rootProto: cfg.RootProtocol,
-		gcEvery:   cfg.GCEveryCommits,
+		part:       cfg.Partition,
+		clock:      cfg.Clock,
+		store:      mvstore.New(),
+		act:        act,
+		links:      links,
+		walls:      alink.NewWallManager(links, cfg.Clock, cfg.WallInterval, start),
+		rec:        cfg.Recorder,
+		rootProto:  cfg.RootProtocol,
+		gcEvery:    cfg.GCEveryCommits,
+		txnTimeout: cfg.TxnTimeout,
+		closed:     make(chan struct{}),
+		live:       make(map[cc.TxnID]liveTxn),
+	}
+	if interval := reapInterval(cfg); interval > 0 {
+		e.reaperWG.Add(1)
+		go e.reaper(interval)
 	}
 	return e, nil
+}
+
+func reapInterval(cfg Config) time.Duration {
+	if cfg.ReapInterval > 0 {
+		return cfg.ReapInterval
+	}
+	if cfg.TxnTimeout <= 0 {
+		return 0
+	}
+	interval := cfg.TxnTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return interval
 }
 
 // Name implements cc.Engine.
 func (e *Engine) Name() string { return "HDD" }
 
-// Close implements cc.Engine.
-func (e *Engine) Close() error { return nil }
+// Close implements cc.Engine: it stops the background reaper, wakes every
+// blocked Protocol B waiter with cc.ErrEngineClosed, and fails subsequent
+// Begin/Read/Write calls. Close is idempotent; transactions already in
+// flight may still Commit or Abort.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		e.reaperWG.Wait()
+	})
+	return nil
+}
+
+// closedErr reports cc.ErrEngineClosed once Close has been called.
+func (e *Engine) closedErr() error {
+	select {
+	case <-e.closed:
+		return cc.ErrEngineClosed
+	default:
+		return nil
+	}
+}
 
 // Stats implements cc.Engine.
 func (e *Engine) Stats() cc.Stats { return e.ctr.Snapshot() }
@@ -153,11 +239,29 @@ func (e *Engine) Links() *alink.Links { return e.links }
 // Walls exposes the time-wall manager for tests and experiments.
 func (e *Engine) Walls() *alink.WallManager { return e.walls }
 
+// deadlineFor converts a timeout into an absolute deadline; zero means no
+// deadline.
+func deadlineFor(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}
+
 // Begin implements cc.Engine: it starts an update transaction of the given
-// class.
+// class, with the engine's configured transaction timeout.
 func (e *Engine) Begin(class schema.ClassID) (cc.Txn, error) {
+	return e.BeginWithTimeout(class, e.txnTimeout)
+}
+
+// BeginWithTimeout starts an update transaction with a per-transaction
+// deadline overriding Config.TxnTimeout; timeout <= 0 means no deadline.
+func (e *Engine) BeginWithTimeout(class schema.ClassID, timeout time.Duration) (cc.Txn, error) {
 	if class < 0 || int(class) >= e.part.NumClasses() {
 		return nil, fmt.Errorf("core: unknown class %d", class)
+	}
+	if err := e.closedErr(); err != nil {
+		return nil, err
 	}
 	e.enterUpdate()
 	// BeginTxn's global barrier guarantees that any instant later drawn
@@ -166,13 +270,19 @@ func (e *Engine) Begin(class schema.ClassID) (cc.Txn, error) {
 	init := e.act.BeginTxn(int(class), e.clock)
 	e.ctr.Begins.Add(1)
 	e.rec.RecordBegin(init, class, false)
-	return &updateTxn{eng: e, init: init, class: class}, nil
+	t := &updateTxn{eng: e, init: init, class: class,
+		deadline: deadlineFor(timeout), cancel: make(chan struct{})}
+	e.register(init, t)
+	return t, nil
 }
 
 // BeginReadOnly implements cc.Engine: it starts an ad-hoc read-only
 // transaction under Protocol C, reading below the most recently released
 // time wall (§5.2). It never blocks and never registers reads.
 func (e *Engine) BeginReadOnly() (cc.Txn, error) {
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
 	init := e.clock.Tick()
 	// Acquiring (rather than just reading) the wall pins its floor
 	// against garbage collection for the transaction's lifetime: a newer
@@ -181,7 +291,10 @@ func (e *Engine) BeginReadOnly() (cc.Txn, error) {
 	wall, release := e.walls.AcquireCurrent()
 	e.ctr.Begins.Add(1)
 	e.rec.RecordBegin(init, schema.NoClass, true)
-	return &readOnlyTxn{eng: e, init: init, wall: wall, release: release}, nil
+	t := &readOnlyTxn{eng: e, init: init, wall: wall, release: release,
+		deadline: deadlineFor(e.txnTimeout)}
+	e.register(init, t)
+	return t, nil
 }
 
 // BeginReadOnlyOnPath starts a read-only transaction whose entire read set
@@ -193,6 +306,9 @@ func (e *Engine) BeginReadOnly() (cc.Txn, error) {
 func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
 	if base < 0 || int(base) >= e.part.NumClasses() {
 		return nil, fmt.Errorf("core: unknown class %d", base)
+	}
+	if err := e.closedErr(); err != nil {
+		return nil, err
 	}
 	// The fictitious-class thresholds evaluate I_old at this instant, so
 	// it must be a barrier tick. Thresholds are pinned eagerly for every
@@ -216,7 +332,10 @@ func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
 	release := e.walls.AcquireFloor(floor)
 	e.ctr.Begins.Add(1)
 	e.rec.RecordBegin(init, schema.NoClass, true)
-	return &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds, release: release}, nil
+	t := &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds,
+		release: release, deadline: deadlineFor(e.txnTimeout)}
+	e.register(init, t)
+	return t, nil
 }
 
 // BeginReadOnlyFor starts a read-only transaction declared to read only
@@ -257,8 +376,9 @@ func (e *Engine) maybeGC() {
 	if e.commitCounter.Add(1)%e.gcEvery != 0 {
 		return
 	}
-	e.store.GC(e.gcWatermark())
-	e.act.PruneBefore(e.gcWatermark())
+	watermark := e.gcWatermark()
+	e.store.GC(watermark)
+	e.act.PruneBefore(watermark)
 	e.gcRuns.Add(1)
 }
 
@@ -286,17 +406,35 @@ func (e *Engine) ForceGC() int {
 }
 
 // updateTxn is an update transaction of one class.
+//
+// The mutex exists for the reaper: the owning client drives Read/Write/
+// Commit/Abort from one goroutine, but the background reaper (and a Close
+// racing a blocked read) may force-abort the transaction from another.
+// Every state transition and every store mutation happens under mu, so a
+// force-abort either observes an installed pending version (and removes
+// it) or excludes the install entirely — no version can leak past the
+// abort and pin the activity tables forever.
 type updateTxn struct {
-	eng   *Engine
-	init  vclock.Time
-	class schema.ClassID
-	done  bool
+	eng      *Engine
+	init     vclock.Time
+	class    schema.ClassID
+	deadline time.Time // zero = no deadline
+
+	mu   sync.Mutex
+	done bool
+	// deadErr is the sticky error set by a force-abort (reaper, deadline,
+	// shutdown); subsequent operations return it so the client learns the
+	// transaction was killed rather than finished.
+	deadErr error
+	// cancel is closed by a force-abort to wake a blocked read.
+	cancel chan struct{}
 	// writes tracks granules with an installed pending version, for
 	// commit/abort and read-your-own-writes.
 	writes map[schema.GranuleID][]byte
 }
 
 var _ cc.Txn = (*updateTxn)(nil)
+var _ liveTxn = (*updateTxn)(nil)
 
 // ID implements cc.Txn.
 func (t *updateTxn) ID() cc.TxnID { return t.init }
@@ -304,20 +442,41 @@ func (t *updateTxn) ID() cc.TxnID { return t.init }
 // Class implements cc.Txn.
 func (t *updateTxn) Class() schema.ClassID { return t.class }
 
+// deadErrLocked returns the error operations on a finished transaction
+// surface: the sticky force-abort error if one was set, cc.ErrTxnDone
+// otherwise. Callers must hold t.mu.
+func (t *updateTxn) deadErrLocked() error {
+	if t.deadErr != nil {
+		return t.deadErr
+	}
+	return cc.ErrTxnDone
+}
+
 // Read implements cc.Txn. Reads in the root segment follow Protocol B
 // (registered, may wait); reads in higher segments follow Protocol A
-// (non-blocking, trace-free).
+// (non-blocking, trace-free). A blocked Protocol B read wakes on the
+// transaction deadline (aborting with cc.ReasonTimedOut) and on engine
+// shutdown (returning cc.ErrEngineClosed).
 func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
-	if t.done {
-		return nil, cc.ErrTxnDone
-	}
 	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return nil, err
+	}
 	e.ctr.Reads.Add(1)
 	if v, ok := t.writes[g]; ok {
+		out := append([]byte(nil), v...)
+		t.mu.Unlock()
 		e.rec.RecordRead(t.init, g, t.init, true)
-		return append([]byte(nil), v...), nil
+		return out, nil
 	}
-	root := t.eng.part.Class(t.class).Writes
+	t.mu.Unlock()
+	root := e.part.Class(t.class).Writes
 	switch {
 	case g.Segment == root:
 		// Protocol B: registered read at the transaction's own timestamp
@@ -343,7 +502,19 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 					return nil, err
 				}
 				e.ctr.BlockedReads.Add(1)
-				wait()
+				if err := t.awaitResolve(g, wait); err != nil {
+					return nil, err
+				}
+				// The reaper may have force-aborted the transaction while
+				// the read was blocked; re-check before touching the
+				// store again.
+				t.mu.Lock()
+				if t.done {
+					err := t.deadErrLocked()
+					t.mu.Unlock()
+					return nil, err
+				}
+				t.mu.Unlock()
 				continue
 			}
 			if e.rootProto == RootBasicTO && ok && vts > t.init {
@@ -373,16 +544,61 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 	}
 }
 
+// awaitResolve blocks a Protocol B read until the pending version it is
+// waiting on resolves, the transaction deadline expires, the reaper kills
+// the transaction, or the engine shuts down. A nil return means the
+// version resolved and the read should retry.
+func (t *updateTxn) awaitResolve(g schema.GranuleID, resolved <-chan struct{}) error {
+	e := t.eng
+	var timerC <-chan time.Time
+	if !t.deadline.IsZero() {
+		d := time.Until(t.deadline)
+		if d < 0 {
+			d = 0
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case <-resolved:
+		return nil
+	case <-t.cancel:
+		// Force-aborted while blocked; deadErr was set before cancel
+		// closed.
+		t.mu.Lock()
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	case <-e.closed:
+		t.finishAbort(cc.ErrEngineClosed, false)
+		return cc.ErrEngineClosed
+	case <-timerC:
+		e.ctr.TimedOutReads.Add(1)
+		err := &cc.AbortError{Reason: cc.ReasonTimedOut,
+			Err: fmt.Errorf("read of %v blocked past the transaction deadline", g)}
+		t.finishAbort(err, false)
+		return err
+	}
+}
+
 // Write implements cc.Txn. Writes are restricted to the root segment and
 // follow Protocol B's MVTO admission check; a rejected write aborts the
 // transaction.
 func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
-	if t.done {
-		return cc.ErrTxnDone
-	}
 	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	}
 	e.ctr.Writes.Add(1)
 	if !e.part.MayWrite(t.class, g.Segment) {
+		t.mu.Unlock()
 		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
 			Err: fmt.Errorf("class %d (%q) may not write segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
 		t.abort()
@@ -391,9 +607,11 @@ func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
 	if _, ok := t.writes[g]; ok {
 		e.store.UpdatePending(g, t.init, value)
 		t.writes[g] = append([]byte(nil), value...)
+		t.mu.Unlock()
 		return nil
 	}
 	if err := e.store.InstallChecked(g, t.init, value); err != nil {
+		t.mu.Unlock()
 		e.ctr.RejectedWrites.Add(1)
 		t.abort()
 		return &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: err}
@@ -403,6 +621,7 @@ func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
 	}
 	t.writes[g] = append([]byte(nil), value...)
 	e.rec.RecordWrite(t.init, g, t.init)
+	t.mu.Unlock()
 	return nil
 }
 
@@ -411,15 +630,20 @@ func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
 // threshold that admits its versions must find them committed in the store
 // (the mutexes on both structures give the necessary happens-before).
 func (t *updateTxn) Commit() error {
+	e := t.eng
+	t.mu.Lock()
 	if t.done {
-		return cc.ErrTxnDone
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
 	}
 	t.done = true
-	e := t.eng
 	for g := range t.writes {
 		e.store.Commit(g, t.init)
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
+	t.mu.Unlock()
+	e.unregister(t.init)
 	e.exitUpdate()
 	e.ctr.Commits.Add(1)
 	e.rec.RecordCommit(t.init, at)
@@ -430,39 +654,69 @@ func (t *updateTxn) Commit() error {
 
 // Abort implements cc.Txn.
 func (t *updateTxn) Abort() error {
-	if t.done {
-		return nil
-	}
 	t.abort()
 	return nil
 }
 
-func (t *updateTxn) abort() {
+func (t *updateTxn) abort() { t.finishAbort(nil, false) }
+
+// finishAbort moves the transaction to aborted, releasing its pending
+// versions and activity entry. sticky (may be nil) becomes the error
+// subsequent operations return; reaped counts the abort in
+// Stats().ReapedTxns. It reports whether this call performed the abort
+// (false if the transaction already finished).
+func (t *updateTxn) finishAbort(sticky error, reaped bool) bool {
+	t.mu.Lock()
 	if t.done {
-		return
+		t.mu.Unlock()
+		return false
 	}
 	t.done = true
+	t.deadErr = sticky
+	close(t.cancel)
 	e := t.eng
 	for g := range t.writes {
 		e.store.Abort(g, t.init)
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
+	t.mu.Unlock()
+	e.unregister(t.init)
 	e.exitUpdate()
 	e.ctr.Aborts.Add(1)
+	if reaped {
+		e.ctr.ReapedTxns.Add(1)
+	}
 	e.rec.RecordAbort(t.init, at)
 	e.walls.Poll()
+	return true
+}
+
+// expiry implements liveTxn.
+func (t *updateTxn) expiry() time.Time { return t.deadline }
+
+// reap implements liveTxn: the reaper force-aborts the transaction,
+// releasing its pending versions and activity entry so walls and GC can
+// progress again.
+func (t *updateTxn) reap() bool {
+	return t.finishAbort(&cc.AbortError{Reason: cc.ReasonTimedOut,
+		Err: fmt.Errorf("transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}, true)
 }
 
 // readOnlyTxn is a Protocol C transaction pinned to a released time wall.
 type readOnlyTxn struct {
-	eng     *Engine
-	init    vclock.Time
-	wall    *alink.TimeWall
-	release func()
+	eng      *Engine
+	init     vclock.Time
+	wall     *alink.TimeWall
+	release  func()
+	deadline time.Time
+
+	mu      sync.Mutex
 	done    bool
+	deadErr error
 }
 
 var _ cc.Txn = (*readOnlyTxn)(nil)
+var _ liveTxn = (*readOnlyTxn)(nil)
 
 // ID implements cc.Txn.
 func (t *readOnlyTxn) ID() cc.TxnID { return t.init }
@@ -473,10 +727,20 @@ func (t *readOnlyTxn) Class() schema.ClassID { return schema.NoClass }
 // Read implements cc.Txn: the latest committed version below the wall
 // component of the granule's segment. Never blocks, never registers.
 func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
 	if t.done {
+		err := t.deadErr
+		t.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		return nil, cc.ErrTxnDone
 	}
-	e := t.eng
+	t.mu.Unlock()
 	e.ctr.Reads.Add(1)
 	bound := t.wall.Threshold(g.Segment)
 	val, vts, ok := e.store.ReadCommittedBefore(g, bound)
@@ -491,30 +755,67 @@ func (t *readOnlyTxn) Write(schema.GranuleID, []byte) error {
 
 // Commit implements cc.Txn.
 func (t *readOnlyTxn) Commit() error {
-	if t.done {
-		return cc.ErrTxnDone
-	}
-	t.done = true
-	t.release()
-	e := t.eng
-	at := e.clock.Tick()
-	e.ctr.Commits.Add(1)
-	e.rec.RecordCommit(t.init, at)
-	return nil
+	return t.finish(false)
 }
 
 // Abort implements cc.Txn.
 func (t *readOnlyTxn) Abort() error {
+	_ = t.finish(true)
+	return nil
+}
+
+func (t *readOnlyTxn) finish(aborted bool) error {
+	t.mu.Lock()
 	if t.done {
-		return nil
+		err := t.deadErr
+		t.mu.Unlock()
+		if aborted {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return cc.ErrTxnDone
 	}
 	t.done = true
+	t.mu.Unlock()
 	t.release()
 	e := t.eng
+	e.unregister(t.init)
+	at := e.clock.Tick()
+	if aborted {
+		e.ctr.Aborts.Add(1)
+		e.rec.RecordAbort(t.init, at)
+	} else {
+		e.ctr.Commits.Add(1)
+		e.rec.RecordCommit(t.init, at)
+	}
+	return nil
+}
+
+// expiry implements liveTxn.
+func (t *readOnlyTxn) expiry() time.Time { return t.deadline }
+
+// reap implements liveTxn: an abandoned read-only transaction holds a wall
+// floor that pins garbage collection; reaping releases it.
+func (t *readOnlyTxn) reap() bool {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return false
+	}
+	t.done = true
+	t.deadErr = &cc.AbortError{Reason: cc.ReasonTimedOut,
+		Err: fmt.Errorf("read-only transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}
+	t.mu.Unlock()
+	t.release()
+	e := t.eng
+	e.unregister(t.init)
 	at := e.clock.Tick()
 	e.ctr.Aborts.Add(1)
+	e.ctr.ReapedTxns.Add(1)
 	e.rec.RecordAbort(t.init, at)
-	return nil
+	return true
 }
 
 // Wall exposes the wall the transaction reads under, for tests.
@@ -523,15 +824,20 @@ func (t *readOnlyTxn) Wall() *alink.TimeWall { return t.wall }
 // pathReadOnlyTxn reads along one critical path as a fictitious class below
 // base (§5, Figure 8). Its activity-link thresholds are pinned at begin.
 type pathReadOnlyTxn struct {
-	eng     *Engine
-	init    vclock.Time
-	base    schema.ClassID
-	bounds  map[schema.SegmentID]vclock.Time
-	release func()
+	eng      *Engine
+	init     vclock.Time
+	base     schema.ClassID
+	bounds   map[schema.SegmentID]vclock.Time
+	release  func()
+	deadline time.Time
+
+	mu      sync.Mutex
 	done    bool
+	deadErr error
 }
 
 var _ cc.Txn = (*pathReadOnlyTxn)(nil)
+var _ liveTxn = (*pathReadOnlyTxn)(nil)
 
 // ID implements cc.Txn.
 func (t *pathReadOnlyTxn) ID() cc.TxnID { return t.init }
@@ -542,10 +848,20 @@ func (t *pathReadOnlyTxn) Class() schema.ClassID { return schema.NoClass }
 // Read implements cc.Txn with the fictitious-class Protocol A threshold
 // pinned at initiation.
 func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
 	if t.done {
+		err := t.deadErr
+		t.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		return nil, cc.ErrTxnDone
 	}
-	e := t.eng
+	t.mu.Unlock()
 	bound, ok := t.bounds[g.Segment]
 	if !ok {
 		return nil, fmt.Errorf("core: segment %d is not on the critical path above class %d", g.Segment, t.base)
@@ -563,28 +879,65 @@ func (t *pathReadOnlyTxn) Write(schema.GranuleID, []byte) error {
 
 // Commit implements cc.Txn.
 func (t *pathReadOnlyTxn) Commit() error {
-	if t.done {
-		return cc.ErrTxnDone
-	}
-	t.done = true
-	t.release()
-	e := t.eng
-	at := e.clock.Tick()
-	e.ctr.Commits.Add(1)
-	e.rec.RecordCommit(t.init, at)
-	return nil
+	return t.finish(false)
 }
 
 // Abort implements cc.Txn.
 func (t *pathReadOnlyTxn) Abort() error {
+	_ = t.finish(true)
+	return nil
+}
+
+func (t *pathReadOnlyTxn) finish(aborted bool) error {
+	t.mu.Lock()
 	if t.done {
-		return nil
+		err := t.deadErr
+		t.mu.Unlock()
+		if aborted {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return cc.ErrTxnDone
 	}
 	t.done = true
+	t.mu.Unlock()
 	t.release()
 	e := t.eng
+	e.unregister(t.init)
+	at := e.clock.Tick()
+	if aborted {
+		e.ctr.Aborts.Add(1)
+		e.rec.RecordAbort(t.init, at)
+	} else {
+		e.ctr.Commits.Add(1)
+		e.rec.RecordCommit(t.init, at)
+	}
+	return nil
+}
+
+// expiry implements liveTxn.
+func (t *pathReadOnlyTxn) expiry() time.Time { return t.deadline }
+
+// reap implements liveTxn: releases the pinned activity-link floor so
+// garbage collection can advance past an abandoned path reader.
+func (t *pathReadOnlyTxn) reap() bool {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return false
+	}
+	t.done = true
+	t.deadErr = &cc.AbortError{Reason: cc.ReasonTimedOut,
+		Err: fmt.Errorf("path read-only transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}
+	t.mu.Unlock()
+	t.release()
+	e := t.eng
+	e.unregister(t.init)
 	at := e.clock.Tick()
 	e.ctr.Aborts.Add(1)
+	e.ctr.ReapedTxns.Add(1)
 	e.rec.RecordAbort(t.init, at)
-	return nil
+	return true
 }

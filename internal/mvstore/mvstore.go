@@ -244,16 +244,19 @@ func (s *Store) ReadCommittedBefore(g schema.GranuleID, bound vclock.Time) (valu
 // is still pending (wait-for-commit MVTO avoids cascading aborts), and
 // registers the reader's timestamp against the version it returns.
 //
-// The returned wait function is nil when the read completed immediately;
-// otherwise the caller must invoke it (it blocks until the pending version
-// resolves) and then retry, and ts reports the pending version's write
-// timestamp so callers with non-age-ordered bounds (basic TO's "latest
-// version" reads) can reject a read-too-late instead of waiting — waiting
-// on a *younger* pending writer can deadlock, since that writer's own reads
-// may be waiting the other way. This two-phase shape lets engines count
-// blocked reads — a quantity the experiments report — without holding
-// chain locks across waits.
-func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) (value []byte, ts vclock.Time, ok bool, wait func()) {
+// The returned wait channel is nil when the read completed immediately;
+// otherwise the caller must wait until the channel is closed (the pending
+// version resolved) and then retry. Exposing the channel rather than a
+// blocking call makes the wait *cancellable*: callers can select against a
+// deadline timer or an engine-shutdown channel and give up instead of
+// blocking forever on an abandoned writer. ts reports the pending version's
+// write timestamp so callers with non-age-ordered bounds (basic TO's
+// "latest version" reads) can reject a read-too-late instead of waiting —
+// waiting on a *younger* pending writer can deadlock, since that writer's
+// own reads may be waiting the other way. This two-phase shape also lets
+// engines count blocked reads — a quantity the experiments report —
+// without holding chain locks across waits.
+func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) (value []byte, ts vclock.Time, ok bool, wait <-chan struct{}) {
 	c := s.chainOf(g, true)
 	c.mu.Lock()
 	i := c.locate(bound)
@@ -270,7 +273,7 @@ func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) 
 		done := v.done
 		pendingTS := v.ts
 		c.mu.Unlock()
-		return nil, pendingTS, false, func() { <-done }
+		return nil, pendingTS, false, done
 	}
 	if readerTS > v.readTS {
 		v.readTS = readerTS

@@ -100,7 +100,7 @@ func TestReadRegisteredWaitsForPending(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		wait()
+		<-wait
 	}()
 	s.Commit(gr, 20)
 	wg.Wait()
@@ -128,7 +128,7 @@ func TestReadRegisteredAbortedRetry(t *testing.T) {
 		t.Fatal("expected wait")
 	}
 	s.Abort(gr, 20)
-	wait()
+	<-wait
 	v, ts, ok, w2 := s.ReadRegistered(gr, 30, 30)
 	if w2 != nil || !ok || ts != 10 || string(v) != "base" {
 		t.Fatalf("retry read = %q,%d,%v", v, ts, ok)

@@ -181,7 +181,7 @@ func (t *txn) Read(g schema.GranuleID) ([]byte, error) {
 				val, vts, ok, wait := e.store.ReadRegistered(g, t.init, t.init)
 				if wait != nil {
 					e.ctr.BlockedReads.Add(1)
-					wait()
+					<-wait
 					continue
 				}
 				e.ctr.ReadRegistrations.Add(1)

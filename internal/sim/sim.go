@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hdd/internal/cc"
+	"hdd/internal/fault"
 	"hdd/internal/metrics"
 	"hdd/internal/schema"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	// in-memory engines are otherwise so fast that synchronization
 	// stalls are invisible. Zero disables.
 	OpDelay time.Duration
+	// Faults, when non-nil, wraps the engine in a deterministic
+	// fault-injection harness (see internal/fault): seeded delays, client
+	// crashes mid-transaction, abandoned-without-abort transactions, and
+	// stalled commits. A crashed client's attempt counts as a retry; the
+	// abandoned transaction is left to the engine's reaper. Engines
+	// without stuck-transaction reaping can wedge under faults that
+	// abandon update transactions — that is the phenomenon the harness
+	// exists to expose.
+	Faults *fault.Config
 }
 
 // Result summarizes a run.
@@ -122,6 +132,10 @@ func Run(cfg Config) (*Result, error) {
 		Latency:    &metrics.Histogram{},
 		PerKind:    make(map[string]int64),
 	}
+	eng := cfg.Engine
+	if cfg.Faults != nil {
+		eng = fault.Wrap(cfg.Engine, *cfg.Faults)
+	}
 	before := cfg.Engine.Stats()
 
 	var (
@@ -139,7 +153,7 @@ func Run(cfg Config) (*Result, error) {
 			for n := 0; n < cfg.TxnsPerClient; n++ {
 				kind := pick(cfg.Mix, totalWeight, r)
 				t0 := time.Now()
-				retries, err := runOne(cfg.Engine, kind, r, cfg.MaxRetries, cfg.OpDelay)
+				retries, err := runOne(eng, kind, r, cfg.MaxRetries, cfg.OpDelay)
 				if err != nil {
 					errOnce.Do(func() { firstErr = fmt.Errorf("sim: client %d: %w", client, err) })
 					return
@@ -214,14 +228,17 @@ func runOne(eng cc.Engine, kind *TxnKind, r *rand.Rand, maxRetries int, opDelay 
 			t = &delayTxn{Txn: t, d: opDelay}
 		}
 		if err := kind.Fn(t, r); err != nil {
+			// A simulated client crash must NOT abort: the transaction is
+			// abandoned in the engine (fault.Txn.Abort is a no-op after a
+			// crash, so the call below is harmless either way).
 			_ = t.Abort()
-			if cc.IsAbort(err) {
+			if cc.IsAbort(err) || errors.Is(err, fault.ErrCrashed) {
 				continue
 			}
 			return attempt, err
 		}
 		if err := t.Commit(); err != nil {
-			if cc.IsAbort(err) || errors.Is(err, cc.ErrTxnDone) {
+			if cc.IsAbort(err) || errors.Is(err, cc.ErrTxnDone) || errors.Is(err, fault.ErrCrashed) {
 				continue
 			}
 			return attempt, err

@@ -1,0 +1,175 @@
+package hdd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hdd/internal/cc"
+)
+
+// Beginner is the slice of an engine the retry runner needs. *Engine
+// satisfies it, as does any cc.Engine implementation.
+type Beginner interface {
+	Begin(class ClassID) (Txn, error)
+	BeginReadOnly() (Txn, error)
+}
+
+// RetryPolicy controls Run's capped exponential backoff with jitter.
+// The zero value is a sensible default: 10 attempts, 200µs initial
+// backoff doubling up to 50ms, with full jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (initial try included)
+	// before Run gives up. Defaults to 10; negative means unlimited.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. Defaults to 200µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 50ms.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// (full jitter decorrelates retrying clients and avoids herds).
+	// 0 defaults to 1 (fully random in (0, delay]); use a tiny negative
+	// value to mean "no jitter" explicitly.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible; 0 seeds from the
+	// backoff parameters (still deterministic).
+	Seed int64
+	// Sleep replaces time.Sleep between attempts, for tests. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 200 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 1
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// RetryError reports that Run exhausted its attempts; Unwrap exposes the
+// last abort error.
+type RetryError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("hdd: transaction still aborting after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// Run executes fn inside a transaction of the given class (NoClass for a
+// read-only transaction), committing on success and retrying — with capped
+// exponential backoff plus jitter — when the engine aborts the attempt.
+// It packages the retry loop every HDD client otherwise hand-rolls:
+//
+//	err := hdd.Run(eng, postClass, func(t hdd.Txn) error {
+//		v, err := t.Read(g)
+//		if err != nil {
+//			return err
+//		}
+//		return t.Write(g, next(v))
+//	}, hdd.RetryPolicy{})
+//
+// fn must return the error of any failed Read/Write unmodified (wrapping
+// with %w is fine) so Run can distinguish engine aborts, which are
+// retried with a fresh transaction, from application errors, which abort
+// the transaction and are returned as-is. A fn error or panic always
+// aborts the attempt; fn never needs to call Commit or Abort itself.
+//
+// Run gives up immediately on non-abort errors (including ErrEngineClosed
+// after Engine.Close) and returns a *RetryError once MaxAttempts abort
+// errors have been consumed.
+func Run(eng Beginner, class ClassID, fn func(Txn) error, p RetryPolicy) error {
+	p = p.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = int64(p.BaseDelay) ^ int64(p.MaxDelay)<<20 ^ 0x9e3779b9
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var last error
+	for attempt := 0; p.MaxAttempts < 0 || attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.Sleep(backoff(p, rng, attempt-1))
+		}
+		var (
+			t   Txn
+			err error
+		)
+		if class == NoClass {
+			t, err = eng.BeginReadOnly()
+		} else {
+			t, err = eng.Begin(class)
+		}
+		if err != nil {
+			return err
+		}
+		if err := runAttempt(t, fn); err != nil {
+			if !IsAbort(err) {
+				return err
+			}
+			last = err
+			continue
+		}
+		return nil
+	}
+	return &RetryError{Attempts: p.MaxAttempts, Last: last}
+}
+
+// runAttempt runs fn and commits, aborting on any failure (including a fn
+// panic, so a panicking application never leaks an active transaction that
+// would stall walls until the reaper finds it).
+func runAttempt(t Txn, fn func(Txn) error) (err error) {
+	committed := false
+	defer func() {
+		if !committed {
+			_ = t.Abort()
+		}
+	}()
+	if err := fn(t); err != nil {
+		return err
+	}
+	if err := t.Commit(); err != nil {
+		// A commit racing the reaper can observe its own force-abort as
+		// ErrTxnDone; treat it as an abort so the attempt is retried.
+		if errors.Is(err, cc.ErrTxnDone) {
+			return &cc.AbortError{Reason: cc.ReasonTimedOut, Err: err}
+		}
+		return err
+	}
+	committed = true
+	return nil
+}
+
+// backoff computes the delay before retry number n (0-based): BaseDelay
+// doubled per retry, capped at MaxDelay, with the configured fraction
+// drawn uniformly at random.
+func backoff(p RetryPolicy, rng *rand.Rand, n int) time.Duration {
+	d := p.BaseDelay << uint(min(n, 30))
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter <= 0 {
+		return d
+	}
+	fixed := time.Duration(float64(d) * (1 - p.Jitter))
+	random := time.Duration(rng.Int63n(int64(d-fixed) + 1))
+	return fixed + random
+}
