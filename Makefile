@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples check clean
+.PHONY: all build vet test race cover bench bench-parallel bench-smoke experiments examples check clean
 
 all: build vet test
 
@@ -29,6 +29,18 @@ cover:
 # One benchmark per reproduced figure/table plus the micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Lifecycle scaling across core counts; results archived as JSON.
+BENCHTIME ?= 1s
+bench-parallel:
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkParallelLifecycle \
+		-benchmem -cpu 1,2,4,8 -benchtime $(BENCHTIME) \
+		| $(GO) run ./cmd/benchjson -out BENCH_parallel.json
+
+# CI smoke: every benchmark compiles and runs once; scaling run at 1x.
+bench-smoke:
+	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
+	$(MAKE) bench-parallel BENCHTIME=1x
 
 # Paper-style experiment tables with shape checks.
 experiments:

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array of results, so benchmark runs can be archived and diffed
+// (make bench-parallel writes BENCH_parallel.json with it).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	// Name is the benchmark name without the -<procs> suffix.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS for the run (the -N suffix; 1 if absent).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo so the run stays visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkParallelLifecycle-8  123456  987.0 ns/op  12 B/op  3 allocs/op
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i >= 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			r.Name, r.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			if v > 0 {
+				r.OpsPerSec = 1e9 / v
+			}
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		}
+	}
+	return r, true
+}

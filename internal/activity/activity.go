@@ -43,8 +43,9 @@ type Table struct {
 	byInit map[vclock.Time]int
 	// pruned counts records dropped from the front of recs.
 	pruned int
-	// minActiveIdx lower-bounds the search: every record before it is
-	// resolved. Index into the logical (unpruned) sequence.
+	// waiters holds channels handed out by AwaitComputable; every one is
+	// closed (and the slice cleared) the next time the set of active
+	// transactions shrinks.
 	waiters []chan struct{}
 }
 
@@ -54,18 +55,34 @@ func NewTable() *Table {
 }
 
 // Begin records the initiation of a transaction at instant init.
-// Initiations must be recorded in increasing init order (the engine ticks a
-// global clock under a lock, so this holds by construction). Begin panics
-// on out-of-order initiation, which would silently corrupt every later
-// I_old answer.
+// Initiations must be recorded in increasing init order (Set.BeginTxn ticks
+// the clock under this table's lock, so this holds by construction). Begin
+// panics on out-of-order initiation, which would silently corrupt every
+// later I_old answer.
 func (t *Table) Begin(init vclock.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.beginLocked(init)
+}
+
+func (t *Table) beginLocked(init vclock.Time) {
 	if n := len(t.recs); n > 0 && t.recs[n-1].init >= init {
 		panic(fmt.Sprintf("activity: out-of-order initiation %d after %d", init, t.recs[n-1].init))
 	}
 	t.byInit[init] = t.pruned + len(t.recs)
 	t.recs = append(t.recs, record{init: init, done: vclock.Infinity})
+}
+
+// BeginTick atomically draws an initiation instant from the clock and
+// registers it, under this table's lock. Ticking inside the lock is what
+// guarantees per-class initiation order without any cross-class
+// serialization.
+func (t *Table) BeginTick(clock *vclock.Clock) vclock.Time {
+	t.mu.Lock()
+	init := clock.Tick()
+	t.beginLocked(init)
+	t.mu.Unlock()
+	return init
 }
 
 // Commit records that the transaction initiated at init committed at done.
@@ -77,18 +94,40 @@ func (t *Table) Abort(init, done vclock.Time) { t.finish(init, done, true) }
 
 func (t *Table) finish(init, done vclock.Time, aborted bool) {
 	t.mu.Lock()
+	waiters := t.finishLocked(init, done, aborted)
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// FinishTick atomically draws a completion instant from the clock and
+// records the transaction as committed (aborted=false) or aborted
+// (aborted=true), under this table's lock, returning the completion
+// instant.
+func (t *Table) FinishTick(init vclock.Time, clock *vclock.Clock, aborted bool) vclock.Time {
+	t.mu.Lock()
+	done := clock.Tick()
+	waiters := t.finishLocked(init, done, aborted)
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	return done
+}
+
+// finishLocked lands the completion record and returns the AwaitComputable
+// waiters to wake (after t.mu is released).
+func (t *Table) finishLocked(init, done vclock.Time, aborted bool) []chan struct{} {
 	idx, ok := t.byInit[init]
 	if !ok {
-		t.mu.Unlock()
 		panic(fmt.Sprintf("activity: finish of unknown transaction with init %d", init))
 	}
 	i := idx - t.pruned
 	if i < 0 || i >= len(t.recs) {
-		t.mu.Unlock()
 		panic(fmt.Sprintf("activity: finish of pruned transaction with init %d", init))
 	}
 	if done <= init {
-		t.mu.Unlock()
 		panic(fmt.Sprintf("activity: completion %d not after initiation %d", done, init))
 	}
 	t.recs[i].done = done
@@ -96,10 +135,7 @@ func (t *Table) finish(init, done vclock.Time, aborted bool) {
 	delete(t.byInit, init)
 	waiters := t.waiters
 	t.waiters = nil
-	t.mu.Unlock()
-	for _, w := range waiters {
-		close(w)
-	}
+	return waiters
 }
 
 // IOld evaluates I_old(m): the initiation time of the oldest transaction of
@@ -253,17 +289,23 @@ func (t *Table) Snapshot() [][2]vclock.Time {
 // Protocol A reader would see a value (e.g. an event counter) whose
 // provenance (the event records) its second read can no longer reach.
 // BeginTxn and TickBarrier make tick-and-register / tick-and-observe
-// atomic across all classes.
+// atomic across all classes — not with a global mutex, but with the
+// per-class epoch scheme of barrier.go: begins and finishes of different
+// classes never contend, and TickBarrier waits only for the windows in
+// flight when it drew its instant.
 type Set struct {
-	beginMu sync.Mutex
-	tables  []*Table
+	tables []*Table
+	// slots[i] brackets class i's in-flight tick-and-register windows;
+	// see barrier.go.
+	slots []beginSlot
 }
 
 // NewSet returns a Set with n class tables.
 func NewSet(n int) *Set {
-	s := &Set{tables: make([]*Table, n)}
+	s := &Set{tables: make([]*Table, n), slots: make([]beginSlot, n)}
 	for i := range s.tables {
 		s.tables[i] = NewTable()
+		s.slots[i].init()
 	}
 	return s
 }
@@ -272,47 +314,50 @@ func NewSet(n int) *Set {
 func (s *Set) Class(i int) *Table { return s.tables[i] }
 
 // BeginTxn atomically draws an initiation instant from the clock and
-// registers it in class's table, under the global begin barrier. Every
-// instant later drawn through BeginTxn or TickBarrier is guaranteed to
-// observe this registration.
+// registers it in class's table, inside a begin-barrier window. Every
+// instant later drawn through TickBarrier is guaranteed to observe this
+// registration. Begins of different classes proceed in parallel; begins of
+// the same class serialize only on that class's table lock.
 func (s *Set) BeginTxn(class int, clock *vclock.Clock) vclock.Time {
-	s.beginMu.Lock()
-	init := clock.Tick()
-	s.tables[class].Begin(init)
-	s.beginMu.Unlock()
+	sl := &s.slots[class]
+	sl.open()
+	init := s.tables[class].BeginTick(clock)
+	sl.close()
 	return init
 }
 
 // TickBarrier draws an instant m such that every transaction with an
-// initiation tick below m is already registered — the safe argument for
-// I_old / activity-link evaluations and wall scheduling.
+// initiation (or completion) tick below m is already registered — the safe
+// argument for I_old / activity-link evaluations and wall scheduling. It
+// waits only for tick-and-register windows already open when m was drawn;
+// windows opened later hold ticks above m and cannot affect evaluations at
+// m (see barrier.go for the linearization argument).
 func (s *Set) TickBarrier(clock *vclock.Clock) vclock.Time {
-	s.beginMu.Lock()
 	m := clock.Tick()
-	s.beginMu.Unlock()
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.await(sl.opened.Load())
+	}
 	return m
 }
 
 // FinishTxn atomically draws a completion instant and records the
 // transaction as committed (aborted=false) or aborted (aborted=true),
-// under the same barrier as BeginTxn. The atomicity matters as much here
-// as at begin: if the completion tick were drawn before the record lands,
-// an I_old(m) evaluation in the gap would classify the transaction as
-// active-at-m (its done still Infinity) while later evaluations of the
-// same instant see it resolved — thresholds would no longer be monotone
-// across transactions, which is exactly the consistency the correctness
-// proofs lean on (Property 0.2). With the barrier, any record an
-// evaluator sees as unresolved is guaranteed a completion tick larger
-// than every instant drawn so far, so the classification never flips.
+// inside the same per-class barrier windows as BeginTxn. The atomicity
+// matters as much here as at begin: if the completion tick were drawn
+// before the record lands, an I_old(m) evaluation in the gap would
+// classify the transaction as active-at-m (its done still Infinity) while
+// later evaluations of the same instant see it resolved — thresholds would
+// no longer be monotone across transactions, which is exactly the
+// consistency the correctness proofs lean on (Property 0.2). With the
+// barrier, any record an evaluator sees as unresolved is guaranteed a
+// completion tick larger than every instant drawn so far, so the
+// classification never flips.
 func (s *Set) FinishTxn(class int, init vclock.Time, clock *vclock.Clock, aborted bool) vclock.Time {
-	s.beginMu.Lock()
-	done := clock.Tick()
-	if aborted {
-		s.tables[class].Abort(init, done)
-	} else {
-		s.tables[class].Commit(init, done)
-	}
-	s.beginMu.Unlock()
+	sl := &s.slots[class]
+	sl.open()
+	done := s.tables[class].FinishTick(init, clock, aborted)
+	sl.close()
 	return done
 }
 

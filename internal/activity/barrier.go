@@ -1,0 +1,112 @@
+package activity
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The begin barrier.
+//
+// The engines must guarantee that every transaction whose initiation (or
+// completion) tick precedes an instant m is registered in its class table
+// before m is used as an I_old / C_late argument — otherwise I_old(m),
+// evaluated once before and once after a late registration lands, can
+// *shrink*, and a Protocol A reader would see a value whose provenance its
+// second read can no longer reach (see Set).
+//
+// The original implementation put one global mutex around every
+// tick-and-register pair and every barrier tick, which serialized all
+// Begin/Commit/Abort traffic across all classes through a single lock.
+// This file replaces it with an epoch/sequence scheme with no global
+// serialization point:
+//
+//   - each class owns a beginSlot with two monotone, cache-line-padded
+//     counters: opened counts tick-and-register windows that have started,
+//     closed counts windows that have finished. A window brackets exactly
+//     the clock tick plus the table registration, both of which happen
+//     under the class table's own mutex (per-class serialization only).
+//   - TickBarrier draws m from the clock, then for each class snapshots
+//     opened and waits until closed catches up to that snapshot.
+//
+// Why this suffices: Go's sync/atomic operations are sequentially
+// consistent, so there is one total order over the RMWs on the clock and
+// the slot counters. A registration with tick < m incremented opened
+// before it drew its tick, and its tick preceded the barrier's tick, so
+// the barrier's later read of opened observes it — the barrier waits for
+// it to close, and closing happens after the registration landed. A window
+// opened after the barrier's snapshot drew (or will draw) a tick after m,
+// which cannot affect any evaluation at m. Registrations that begin while
+// the barrier is waiting therefore never delay it: the wait is bounded by
+// the windows in flight at the instant m was drawn, per class — "waiting
+// only for in-flight begins below the drawn instant".
+
+// slotPad separates the hot counters onto their own cache lines so
+// concurrent begins in different classes (and the barrier's reads) do not
+// false-share.
+type slotPad [56]byte
+
+// beginSlot tracks the in-flight tick-and-register windows of one class.
+type beginSlot struct {
+	opened atomic.Int64
+	_      slotPad
+	closed atomic.Int64
+	_      slotPad
+
+	// waiters is nonzero while a barrier is blocked on this slot; the
+	// closing side then broadcasts under mu. The common case (no barrier
+	// waiting) costs one atomic load on close.
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func (sl *beginSlot) init() { sl.cond = sync.NewCond(&sl.mu) }
+
+// open starts a tick-and-register window. It must be called before the
+// clock tick the window will draw.
+func (sl *beginSlot) open() { sl.opened.Add(1) }
+
+// close finishes a window: the tick has been drawn and the registration
+// landed in the class table.
+func (sl *beginSlot) close() {
+	sl.closed.Add(1)
+	if sl.waiters.Load() != 0 {
+		// Lost-wakeup freedom: the waiter re-checks closed under mu, and
+		// this broadcast also takes mu, so the broadcast cannot fall
+		// between the waiter's check and its Wait. If this load missed the
+		// waiter's increment, sequential consistency puts the waiter's
+		// subsequent closed.Load after our closed.Add — it sees the close
+		// and never sleeps.
+		sl.mu.Lock()
+		sl.cond.Broadcast()
+		sl.mu.Unlock()
+	}
+}
+
+// spinBudget bounds the optimistic spin before a barrier parks on the
+// slot's condition variable. Windows are short — one atomic clock tick
+// plus a slice append under the table mutex — so a few yields almost
+// always suffice.
+const spinBudget = 64
+
+// await blocks until every window opened at or before the snapshot has
+// closed.
+func (sl *beginSlot) await(snapshot int64) {
+	if sl.closed.Load() >= snapshot {
+		return
+	}
+	for i := 0; i < spinBudget; i++ {
+		runtime.Gosched()
+		if sl.closed.Load() >= snapshot {
+			return
+		}
+	}
+	sl.waiters.Add(1)
+	sl.mu.Lock()
+	for sl.closed.Load() < snapshot {
+		sl.cond.Wait()
+	}
+	sl.mu.Unlock()
+	sl.waiters.Add(-1)
+}

@@ -8,7 +8,6 @@ package cc
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
@@ -116,41 +115,42 @@ var ErrTxnDone = errors.New("cc: transaction already finished")
 var ErrEngineClosed = errors.New("cc: engine closed")
 
 // Counters is the set of cumulative metrics every engine maintains. All
-// fields are atomics so engines can update them from any goroutine; use
-// Snapshot for a consistent-enough read.
+// fields are sharded, cache-line-padded counters (see Counter) so engines
+// can update them from any goroutine without bouncing lines between cores;
+// use Snapshot for a consistent-enough read.
 type Counters struct {
-	Begins  atomic.Int64
-	Commits atomic.Int64
-	Aborts  atomic.Int64
+	Begins  Counter
+	Commits Counter
+	Aborts  Counter
 
-	Reads  atomic.Int64
-	Writes atomic.Int64
+	Reads  Counter
+	Writes Counter
 
 	// ReadRegistrations counts reads that had to leave a trace: a read
 	// lock taken or a read timestamp written. The paper's central claim
 	// is that HDD drives this to zero for cross-class and read-only
 	// accesses.
-	ReadRegistrations atomic.Int64
+	ReadRegistrations Counter
 	// BlockedReads / BlockedWrites count operations that had to wait for
 	// another transaction before completing.
-	BlockedReads  atomic.Int64
-	BlockedWrites atomic.Int64
+	BlockedReads  Counter
+	BlockedWrites Counter
 	// RejectedReads / RejectedWrites count timestamp-ordering rejections
 	// (each implies an abort).
-	RejectedReads  atomic.Int64
-	RejectedWrites atomic.Int64
+	RejectedReads  Counter
+	RejectedWrites Counter
 	// Deadlocks counts deadlock-victim aborts (2PL engines).
-	Deadlocks atomic.Int64
+	Deadlocks Counter
 	// WallWaits counts read-only transactions that had to wait for a
 	// wall / snapshot to become available (engines that never wait keep
 	// this zero).
-	WallWaits atomic.Int64
+	WallWaits Counter
 	// ReapedTxns counts stuck transactions force-aborted by the engine's
 	// background reaper (deadline enforcement for abandoned clients).
-	ReapedTxns atomic.Int64
+	ReapedTxns Counter
 	// TimedOutReads counts blocked reads that gave up because the
 	// transaction's deadline expired before the pending version resolved.
-	TimedOutReads atomic.Int64
+	TimedOutReads Counter
 }
 
 // Stats is a plain snapshot of Counters.

@@ -1,0 +1,32 @@
+package cc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("Load() = %d, want %d", got, goroutines*perG)
+	}
+	c.Add(-5)
+	if got := c.Load(); got != goroutines*perG-5 {
+		t.Fatalf("after Add(-5): Load() = %d, want %d", got, goroutines*perG-5)
+	}
+}

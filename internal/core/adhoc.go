@@ -21,71 +21,178 @@ import (
 // system can operate under a finer partition while a special handling is
 // adopted to take care of this type of transactions"):
 //
-//   - every ordinary update transaction holds a shared admission gate for
+//   - every ordinary update transaction holds a shared per-class gate for
 //     its lifetime (one RLock/RUnlock pair — nanoseconds on the fast
 //     path);
-//   - an ad-hoc transaction takes the gate exclusively: it waits for all
-//     in-flight update transactions to finish, briefly holds off new
-//     ones, and then runs *solo* against the latest committed state. A
-//     solo transaction is trivially serializable — every dependency
-//     points into the past — and its writes get a timestamp later than
-//     everything resolved.
+//   - an ad-hoc transaction takes, exclusively, the gates of every class
+//     that could conflict with its declared access set: it waits for the
+//     in-flight update transactions of *those classes* to finish, briefly
+//     holds off new ones, and then runs against the latest committed
+//     state with no concurrent conflicting update. Classes outside the
+//     conflict set keep running — the TST says they cannot touch any
+//     segment the ad-hoc transaction accesses, so draining them would buy
+//     nothing.
+//
+// A class c conflicts with an ad-hoc transaction accessing
+// A = {writeSeg} ∪ declaredReads iff root(c) ∈ A (the ad-hoc transaction
+// may read or overwrite what c writes) or writeSeg ∈ reads(c) (c may read
+// what the ad-hoc transaction writes). With every conflicting class
+// drained, the ad-hoc transaction runs solo *within its footprint*: every
+// dependency points into the past, so it is trivially serializable, and
+// its writes get a timestamp later than everything it read.
+//
+// BeginAdHoc declares no read set, so its conflict set is every class —
+// the conservative variant (drain the world) earlier revisions shipped.
+// BeginAdHocFor narrows the drain to the TST-derived conflict set.
+//
+// Deadlock-freedom: ad-hoc transactions acquire their gates in ascending
+// class order, and ordinary updates hold exactly one share. Two
+// overlapping ad-hoc transactions always contend on a common gate (the
+// write segment's own class is in both conflict sets whenever their
+// footprints intersect), and the ascending order breaks the cycle.
 //
 // Read-only transactions are unaffected: Protocol C reads below released
 // walls, which the ad-hoc transaction's versions postdate.
 //
-// The paper aspires to restructuring *without* pausing updates; that
-// stronger scheme needs machinery (per-class gates with a transitive
-// conflict closure) whose correctness argument the paper does not supply,
-// so this reproduction implements the conservative variant and documents
-// the delta in DESIGN.md.
-//
-// Because an ad-hoc transaction blocks every other update, an abandoned
-// one is the worst possible stall; it registers with the reaper like any
-// other transaction and is force-aborted past its deadline.
+// Because an ad-hoc transaction blocks conflicting updates, an abandoned
+// one is a severe stall; it registers with the reaper like any other
+// transaction and is force-aborted past its deadline.
 
-// adhocGate is embedded in Engine.
+// adhocGate is embedded in Engine: one RWMutex per class. Ordinary
+// updates of class c hold classes[c].RLock for their lifetime; ad-hoc
+// transactions and the checkpointer take exclusive locks over their
+// conflict set in ascending order.
 type adhocGate struct {
-	mu sync.RWMutex
+	classes []sync.RWMutex
+}
+
+func (g *adhocGate) init(part *schema.Partition) {
+	g.classes = make([]sync.RWMutex, part.NumClasses())
+}
+
+// lock acquires the given gates exclusively. classes must be sorted
+// ascending — the global acquisition order that keeps concurrent ad-hoc
+// transactions (and the checkpointer) deadlock-free.
+func (g *adhocGate) lock(classes []schema.ClassID) {
+	for _, c := range classes {
+		g.classes[c].Lock()
+	}
+}
+
+func (g *adhocGate) unlock(classes []schema.ClassID) {
+	for i := len(classes) - 1; i >= 0; i-- {
+		g.classes[classes[i]].Unlock()
+	}
+}
+
+// allClasses returns the full ascending class list — the conflict set of
+// an ad-hoc transaction with an undeclared read set, and of a checkpoint.
+func (g *adhocGate) allClasses() []schema.ClassID {
+	out := make([]schema.ClassID, len(g.classes))
+	for i := range out {
+		out[i] = schema.ClassID(i)
+	}
+	return out
+}
+
+func (g *adhocGate) lockAll() []schema.ClassID {
+	all := g.allClasses()
+	g.lock(all)
+	return all
+}
+
+// enterUpdate / exitUpdate bracket ordinary update transactions of one
+// class: a shared hold on that class's gate only.
+func (e *Engine) enterUpdate(class schema.ClassID) { e.gate.classes[class].RLock() }
+func (e *Engine) exitUpdate(class schema.ClassID)  { e.gate.classes[class].RUnlock() }
+
+// conflictClasses computes the ascending set of classes whose gates an
+// ad-hoc transaction writing writeSeg and reading reads must drain.
+func (e *Engine) conflictClasses(writeSeg schema.SegmentID, reads []schema.SegmentID) []schema.ClassID {
+	accessed := make(map[schema.SegmentID]bool, len(reads)+1)
+	accessed[writeSeg] = true
+	for _, s := range reads {
+		accessed[s] = true
+	}
+	var out []schema.ClassID
+	for c := 0; c < e.part.NumClasses(); c++ {
+		cid := schema.ClassID(c)
+		if accessed[e.part.Class(cid).Writes] || e.part.MayRead(cid, writeSeg) {
+			out = append(out, cid)
+		}
+	}
+	return out
 }
 
 // BeginAdHoc starts an ad-hoc update transaction that writes writeSeg and
-// may read any segment, regardless of the declared class patterns. It
-// blocks until all in-flight update transactions complete and holds off
-// new ones until it finishes — the conservative §7.1 special-handling
-// path. Use sparingly, for the rare transactions intentionally left out
-// of the partition analysis.
+// may read any segment, regardless of the declared class patterns. With no
+// declared read set the conflict set is every class, so it blocks until
+// all in-flight update transactions complete and holds off new ones until
+// it finishes — the conservative §7.1 special-handling path. Use
+// BeginAdHocFor when the read set is known; use either sparingly, for the
+// rare transactions intentionally left out of the partition analysis.
 func (e *Engine) BeginAdHoc(writeSeg schema.SegmentID) (cc.Txn, error) {
+	return e.beginAdHoc(writeSeg, nil, false)
+}
+
+// BeginAdHocFor starts an ad-hoc update transaction that writes writeSeg
+// and reads only the declared segments. Only the classes that could
+// conflict with that access set are drained and held off; update classes
+// whose TST row cannot touch any accessed segment keep running. Reads
+// outside the declared set fail and abort the transaction.
+func (e *Engine) BeginAdHocFor(writeSeg schema.SegmentID, reads ...schema.SegmentID) (cc.Txn, error) {
+	for _, s := range reads {
+		if s < 0 || int(s) >= e.part.NumSegments() {
+			return nil, fmt.Errorf("core: unknown segment %d", s)
+		}
+	}
+	return e.beginAdHoc(writeSeg, reads, true)
+}
+
+func (e *Engine) beginAdHoc(writeSeg schema.SegmentID, reads []schema.SegmentID, declared bool) (cc.Txn, error) {
 	if writeSeg < 0 || int(writeSeg) >= e.part.NumSegments() {
 		return nil, fmt.Errorf("core: unknown segment %d", writeSeg)
 	}
 	if err := e.closedErr(); err != nil {
 		return nil, err
 	}
-	e.gate.mu.Lock() // waits for every update RLock holder to drain
+	var held []schema.ClassID
+	if declared {
+		held = e.conflictClasses(writeSeg, reads)
+	} else {
+		held = e.gate.allClasses()
+	}
+	e.gate.lock(held) // waits for the conflict set's RLock holders to drain
+	var readSet map[schema.SegmentID]bool
+	if declared {
+		readSet = make(map[schema.SegmentID]bool, len(reads)+1)
+		readSet[writeSeg] = true
+		for _, s := range reads {
+			readSet[s] = true
+		}
+	}
 	class := schema.ClassID(writeSeg)
 	init := e.act.BeginTxn(int(class), e.clock)
 	e.ctr.Begins.Add(1)
 	e.rec.RecordBegin(init, class, false)
-	t := &adhocTxn{eng: e, init: init, class: class,
-		deadline: deadlineFor(e.txnTimeout)}
-	e.register(init, t)
+	t := &adhocTxn{eng: e, init: init, class: class, held: held,
+		readSet: readSet, deadline: deadlineFor(e.txnTimeout)}
+	e.live.register(init, t)
 	return t, nil
 }
 
-// enterUpdate / exitUpdate bracket ordinary update transactions.
-func (e *Engine) enterUpdate() { e.gate.mu.RLock() }
-func (e *Engine) exitUpdate()  { e.gate.mu.RUnlock() }
-
-// adhocTxn runs solo: reads see the latest committed version of anything;
-// writes install at the transaction's timestamp in its write segment's
-// class, so subsequent Protocol A thresholds and walls account for it.
-// Like updateTxn, its state is mutex-guarded so the reaper can force-abort
-// it — releasing the exclusive gate — from another goroutine.
+// adhocTxn runs with every conflicting class drained: reads see the latest
+// committed version of anything in its footprint; writes install at the
+// transaction's timestamp in its write segment's class, so subsequent
+// Protocol A thresholds and walls account for it. Like updateTxn, its
+// state is mutex-guarded so the reaper can force-abort it — releasing the
+// held gates — from another goroutine.
 type adhocTxn struct {
 	eng      *Engine
 	init     vclock.Time
 	class    schema.ClassID
+	held     []schema.ClassID
+	readSet  map[schema.SegmentID]bool // nil = may read any segment
 	deadline time.Time
 
 	mu      sync.Mutex
@@ -110,8 +217,10 @@ func (t *adhocTxn) deadErrLocked() error {
 	return cc.ErrTxnDone
 }
 
-// Read implements cc.Txn: latest committed version — exact, because the
-// transaction runs alone among updates.
+// Read implements cc.Txn: latest committed version — exact, because no
+// conflicting update runs concurrently. A declared transaction may only
+// read its declared segments: anything else is outside the drained
+// conflict set, where the solo-execution argument does not hold.
 func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e := t.eng
 	if err := e.closedErr(); err != nil {
@@ -131,6 +240,12 @@ func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 		return out, nil
 	}
 	t.mu.Unlock()
+	if t.readSet != nil && !t.readSet[g.Segment] {
+		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
+			Err: fmt.Errorf("ad-hoc transaction read segment %d outside its declared set", g.Segment)}
+		t.abort()
+		return nil, err
+	}
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
 	e.rec.RecordRead(t.init, g, vts, ok)
 	return val, nil
@@ -163,10 +278,9 @@ func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
 		return nil
 	}
 	if err := e.store.InstallChecked(g, t.init, value); err != nil {
-		// Possible despite solo execution: a *read-only* Protocol B-free
-		// path never registers, but an earlier update may have installed
-		// a version at a later timestamp before draining. Treat as an
-		// ordinary rejection.
+		// Possible despite the drained conflict set: an earlier update may
+		// have installed a version at a later timestamp before draining.
+		// Treat as an ordinary rejection.
 		t.mu.Unlock()
 		e.ctr.RejectedWrites.Add(1)
 		t.abort()
@@ -196,8 +310,8 @@ func (t *adhocTxn) Commit() error {
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
 	t.mu.Unlock()
-	e.unregister(t.init)
-	e.gate.mu.Unlock()
+	e.live.unregister(t.init)
+	e.gate.unlock(t.held)
 	e.ctr.Commits.Add(1)
 	e.rec.RecordCommit(t.init, at)
 	e.walls.Poll()
@@ -226,8 +340,8 @@ func (t *adhocTxn) finishAbort(sticky error, reaped bool) bool {
 	}
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
 	t.mu.Unlock()
-	e.unregister(t.init)
-	e.gate.mu.Unlock()
+	e.live.unregister(t.init)
+	e.gate.unlock(t.held)
 	e.ctr.Aborts.Add(1)
 	if reaped {
 		e.ctr.ReapedTxns.Add(1)
@@ -241,7 +355,7 @@ func (t *adhocTxn) finishAbort(sticky error, reaped bool) bool {
 func (t *adhocTxn) expiry() time.Time { return t.deadline }
 
 // reap implements liveTxn: force-aborting an abandoned ad-hoc transaction
-// releases the exclusive update gate, unblocking every Begin waiting on it.
+// releases its held gates, unblocking every Begin waiting on them.
 func (t *adhocTxn) reap() bool {
 	return t.finishAbort(&cc.AbortError{Reason: cc.ReasonTimedOut,
 		Err: fmt.Errorf("ad-hoc transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}, true)

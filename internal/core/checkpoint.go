@@ -7,13 +7,14 @@ import (
 	"hdd/internal/mvstore"
 )
 
-// WriteCheckpoint quiesces update processing (via the §7.1 admission gate:
-// it waits for in-flight update transactions to finish and briefly holds
-// off new ones) and serializes every committed version to w. Read-only
-// transactions keep running against released walls throughout.
+// WriteCheckpoint quiesces update processing (via the §7.1 admission
+// gates: it takes every class gate exclusively, waiting for in-flight
+// update transactions to finish and briefly holding off new ones) and
+// serializes every committed version to w. Read-only transactions keep
+// running against released walls throughout.
 func (e *Engine) WriteCheckpoint(w io.Writer) error {
-	e.gate.mu.Lock()
-	defer e.gate.mu.Unlock()
+	all := e.gate.lockAll()
+	defer e.gate.unlock(all)
 	if _, err := e.store.WriteCheckpoint(w); err != nil {
 		return fmt.Errorf("core: writing checkpoint: %w", err)
 	}

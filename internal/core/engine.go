@@ -19,6 +19,16 @@
 // read set lies on a single critical path (§5, Figure 8): they run as a
 // fictitious class below the lowest class of the path.
 //
+// # Layout
+//
+// The engine is split by lifecycle layer: transaction admission and begin
+// paths live in lifecycle.go, the update-transaction state machine in
+// update_txn.go, the read-only variants in readonly_txn.go, garbage
+// collection in gc.go, the striped in-flight registry in registry.go, the
+// stuck-transaction reaper in reaper.go, and the §7.1 ad-hoc admission
+// gates in adhoc.go. DESIGN.md §8 maps every lock and atomic in these
+// files and states the ordering rules between them.
+//
 // # Fault tolerance
 //
 // The paper assumes well-behaved transactions: C_late_i(m) only becomes
@@ -115,8 +125,8 @@ type Engine struct {
 	rec   cc.Recorder
 	ctr   cc.Counters
 
-	// gate admits ordinary update transactions shared and §7.1 ad-hoc
-	// transactions exclusive; see adhoc.go.
+	// gate admits ordinary update transactions shared per class and §7.1
+	// ad-hoc transactions exclusive over their conflict set; see adhoc.go.
 	gate adhocGate
 
 	rootProto RootProtocol
@@ -133,10 +143,9 @@ type Engine struct {
 	closeOnce sync.Once
 	reaperWG  sync.WaitGroup
 
-	// live registers every in-flight transaction for the reaper; see
-	// reaper.go.
-	liveMu sync.Mutex
-	live   map[cc.TxnID]liveTxn
+	// live registers every in-flight transaction for the reaper, striped
+	// by TxnID; see registry.go.
+	live liveRegistry
 }
 
 var _ cc.Engine = (*Engine)(nil)
@@ -172,8 +181,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		gcEvery:    cfg.GCEveryCommits,
 		txnTimeout: cfg.TxnTimeout,
 		closed:     make(chan struct{}),
-		live:       make(map[cc.TxnID]liveTxn),
 	}
+	e.gate.init(cfg.Partition)
+	e.live.init()
 	if interval := reapInterval(cfg); interval > 0 {
 		e.reaperWG.Add(1)
 		go e.reaper(interval)
@@ -246,698 +256,4 @@ func deadlineFor(timeout time.Duration) time.Time {
 		return time.Time{}
 	}
 	return time.Now().Add(timeout)
-}
-
-// Begin implements cc.Engine: it starts an update transaction of the given
-// class, with the engine's configured transaction timeout.
-func (e *Engine) Begin(class schema.ClassID) (cc.Txn, error) {
-	return e.BeginWithTimeout(class, e.txnTimeout)
-}
-
-// BeginWithTimeout starts an update transaction with a per-transaction
-// deadline overriding Config.TxnTimeout; timeout <= 0 means no deadline.
-func (e *Engine) BeginWithTimeout(class schema.ClassID, timeout time.Duration) (cc.Txn, error) {
-	if class < 0 || int(class) >= e.part.NumClasses() {
-		return nil, fmt.Errorf("core: unknown class %d", class)
-	}
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	e.enterUpdate()
-	// BeginTxn's global barrier guarantees that any instant later drawn
-	// through the activity set observes this registration — the property
-	// every I_old(m) evaluation relies on (see activity.Set).
-	init := e.act.BeginTxn(int(class), e.clock)
-	e.ctr.Begins.Add(1)
-	e.rec.RecordBegin(init, class, false)
-	t := &updateTxn{eng: e, init: init, class: class,
-		deadline: deadlineFor(timeout), cancel: make(chan struct{})}
-	e.register(init, t)
-	return t, nil
-}
-
-// BeginReadOnly implements cc.Engine: it starts an ad-hoc read-only
-// transaction under Protocol C, reading below the most recently released
-// time wall (§5.2). It never blocks and never registers reads.
-func (e *Engine) BeginReadOnly() (cc.Txn, error) {
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	init := e.clock.Tick()
-	// Acquiring (rather than just reading) the wall pins its floor
-	// against garbage collection for the transaction's lifetime: a newer
-	// wall may release meanwhile, and GC keyed only to the current wall
-	// would prune versions this transaction's wall still directs it to.
-	wall, release := e.walls.AcquireCurrent()
-	e.ctr.Begins.Add(1)
-	e.rec.RecordBegin(init, schema.NoClass, true)
-	t := &readOnlyTxn{eng: e, init: init, wall: wall, release: release,
-		deadline: deadlineFor(e.txnTimeout)}
-	e.register(init, t)
-	return t, nil
-}
-
-// BeginReadOnlyOnPath starts a read-only transaction whose entire read set
-// lies on the critical path through base and upward (§5, Figure 8). It runs
-// as a fictitious update class immediately below base: every read uses a
-// Protocol A threshold, so it sees fresher data than a Protocol C
-// transaction without registering anything. Reads outside the critical path
-// through base fail the class check.
-func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
-	if base < 0 || int(base) >= e.part.NumClasses() {
-		return nil, fmt.Errorf("core: unknown class %d", base)
-	}
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	// The fictitious-class thresholds evaluate I_old at this instant, so
-	// it must be a barrier tick. Thresholds are pinned eagerly for every
-	// segment on the critical path: the values are functions of init
-	// alone, and pinning both fixes them against activity-history pruning
-	// and lets the floor below be registered with the garbage collector.
-	init := e.act.TickBarrier(e.clock)
-	bounds := make(map[schema.SegmentID]vclock.Time)
-	floor := init
-	for s := 0; s < e.part.NumSegments(); s++ {
-		target := schema.ClassID(s)
-		if target != base && !e.part.Higher(target, base) {
-			continue
-		}
-		b := e.links.AFrom(base, target, init)
-		bounds[schema.SegmentID(s)] = b
-		if b < floor {
-			floor = b
-		}
-	}
-	release := e.walls.AcquireFloor(floor)
-	e.ctr.Begins.Add(1)
-	e.rec.RecordBegin(init, schema.NoClass, true)
-	t := &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds,
-		release: release, deadline: deadlineFor(e.txnTimeout)}
-	e.register(init, t)
-	return t, nil
-}
-
-// BeginReadOnlyFor starts a read-only transaction declared to read only
-// the given segments, choosing the protocol the way §5 prescribes: if the
-// segments lie on one critical path of the DHG, the transaction runs as a
-// fictitious class below the path's lowest class (Protocol A semantics —
-// fresher); otherwise it reads below the current time wall (Protocol C).
-// Reads outside the declared set fail under the on-path variant and are
-// allowed (wall-bounded) under the wall variant.
-func (e *Engine) BeginReadOnlyFor(segments ...schema.SegmentID) (cc.Txn, error) {
-	classes := make([]schema.ClassID, 0, len(segments))
-	for _, s := range segments {
-		if s < 0 || int(s) >= e.part.NumSegments() {
-			return nil, fmt.Errorf("core: unknown segment %d", s)
-		}
-		classes = append(classes, schema.ClassID(s))
-	}
-	if len(classes) > 0 && e.part.OnOneCriticalPath(classes) {
-		// The base is the lowest declared class: every other declared
-		// segment is on the critical path above it.
-		base := classes[0]
-		for _, c := range classes[1:] {
-			if e.part.Higher(base, c) {
-				base = c
-			}
-		}
-		return e.BeginReadOnlyOnPath(base)
-	}
-	return e.BeginReadOnly()
-}
-
-// maybeGC runs store GC and activity pruning when the commit counter
-// crosses the configured period.
-func (e *Engine) maybeGC() {
-	if e.gcEvery <= 0 {
-		return
-	}
-	if e.commitCounter.Add(1)%e.gcEvery != 0 {
-		return
-	}
-	watermark := e.gcWatermark()
-	e.store.GC(watermark)
-	e.act.PruneBefore(watermark)
-	e.gcRuns.Add(1)
-}
-
-// gcWatermark computes the instant below which no future read bound or
-// activity query can reach: the minimum of live initiation times and the
-// wall floor, closed under I_old (see activity.Set.ClosedWatermark — a
-// threshold chain can dig below any live transaction's initiation by
-// following historical activity overlaps).
-func (e *Engine) gcWatermark() vclock.Time {
-	now := e.clock.Now()
-	w := vclock.Min(e.act.GlobalWatermark(now), e.walls.SafeFloor())
-	return e.act.ClosedWatermark(w)
-}
-
-// GCRuns reports how many automatic GC cycles have run.
-func (e *Engine) GCRuns() int64 { return e.gcRuns.Load() }
-
-// ForceGC runs one GC cycle immediately with a freshly computed watermark
-// and returns the number of store versions pruned.
-func (e *Engine) ForceGC() int {
-	watermark := e.gcWatermark()
-	pruned := e.store.GC(watermark)
-	e.act.PruneBefore(watermark)
-	return pruned
-}
-
-// updateTxn is an update transaction of one class.
-//
-// The mutex exists for the reaper: the owning client drives Read/Write/
-// Commit/Abort from one goroutine, but the background reaper (and a Close
-// racing a blocked read) may force-abort the transaction from another.
-// Every state transition and every store mutation happens under mu, so a
-// force-abort either observes an installed pending version (and removes
-// it) or excludes the install entirely — no version can leak past the
-// abort and pin the activity tables forever.
-type updateTxn struct {
-	eng      *Engine
-	init     vclock.Time
-	class    schema.ClassID
-	deadline time.Time // zero = no deadline
-
-	mu   sync.Mutex
-	done bool
-	// deadErr is the sticky error set by a force-abort (reaper, deadline,
-	// shutdown); subsequent operations return it so the client learns the
-	// transaction was killed rather than finished.
-	deadErr error
-	// cancel is closed by a force-abort to wake a blocked read.
-	cancel chan struct{}
-	// writes tracks granules with an installed pending version, for
-	// commit/abort and read-your-own-writes.
-	writes map[schema.GranuleID][]byte
-}
-
-var _ cc.Txn = (*updateTxn)(nil)
-var _ liveTxn = (*updateTxn)(nil)
-
-// ID implements cc.Txn.
-func (t *updateTxn) ID() cc.TxnID { return t.init }
-
-// Class implements cc.Txn.
-func (t *updateTxn) Class() schema.ClassID { return t.class }
-
-// deadErrLocked returns the error operations on a finished transaction
-// surface: the sticky force-abort error if one was set, cc.ErrTxnDone
-// otherwise. Callers must hold t.mu.
-func (t *updateTxn) deadErrLocked() error {
-	if t.deadErr != nil {
-		return t.deadErr
-	}
-	return cc.ErrTxnDone
-}
-
-// Read implements cc.Txn. Reads in the root segment follow Protocol B
-// (registered, may wait); reads in higher segments follow Protocol A
-// (non-blocking, trace-free). A blocked Protocol B read wakes on the
-// transaction deadline (aborting with cc.ReasonTimedOut) and on engine
-// shutdown (returning cc.ErrEngineClosed).
-func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
-	e := t.eng
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErrLocked()
-		t.mu.Unlock()
-		return nil, err
-	}
-	e.ctr.Reads.Add(1)
-	if v, ok := t.writes[g]; ok {
-		out := append([]byte(nil), v...)
-		t.mu.Unlock()
-		e.rec.RecordRead(t.init, g, t.init, true)
-		return out, nil
-	}
-	t.mu.Unlock()
-	root := e.part.Class(t.class).Writes
-	switch {
-	case g.Segment == root:
-		// Protocol B: registered read at the transaction's own timestamp
-		// (RootMVTO), or of the globally latest version with a
-		// read-too-late rejection (RootBasicTO).
-		bound := t.init
-		if e.rootProto == RootBasicTO {
-			bound = vclock.Infinity
-		}
-		for {
-			val, vts, ok, wait := e.store.ReadRegistered(g, bound, t.init)
-			if wait != nil {
-				// Basic TO must reject a read behind a *younger*
-				// prewrite rather than wait for it: the younger writer's
-				// own reads may be waiting on this transaction's pending
-				// versions the other way, and the age-ordered
-				// no-deadlock argument only covers waits on elders.
-				if e.rootProto == RootBasicTO && vts > t.init {
-					e.ctr.RejectedReads.Add(1)
-					err := &cc.AbortError{Reason: cc.ReasonReadRejected,
-						Err: fmt.Errorf("basic-TO root read of %v at %d behind prewrite at %d", g, t.init, vts)}
-					t.abort()
-					return nil, err
-				}
-				e.ctr.BlockedReads.Add(1)
-				if err := t.awaitResolve(g, wait); err != nil {
-					return nil, err
-				}
-				// The reaper may have force-aborted the transaction while
-				// the read was blocked; re-check before touching the
-				// store again.
-				t.mu.Lock()
-				if t.done {
-					err := t.deadErrLocked()
-					t.mu.Unlock()
-					return nil, err
-				}
-				t.mu.Unlock()
-				continue
-			}
-			if e.rootProto == RootBasicTO && ok && vts > t.init {
-				e.ctr.RejectedReads.Add(1)
-				err := &cc.AbortError{Reason: cc.ReasonReadRejected,
-					Err: fmt.Errorf("basic-TO root read of %v at %d after write at %d", g, t.init, vts)}
-				t.abort()
-				return nil, err
-			}
-			e.ctr.ReadRegistrations.Add(1)
-			e.rec.RecordRead(t.init, g, vts, ok)
-			return val, nil
-		}
-	case e.part.MayRead(t.class, g.Segment):
-		// Protocol A: the segment is higher in the DHG; serve the latest
-		// committed version below the activity-link threshold. Nothing is
-		// registered and the read cannot block (§4.2).
-		bound := e.links.A(t.class, schema.ClassID(g.Segment), t.init)
-		val, vts, ok := e.store.ReadCommittedBefore(g, bound)
-		e.rec.RecordRead(t.init, g, vts, ok)
-		return val, nil
-	default:
-		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
-			Err: fmt.Errorf("class %d (%q) may not read segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
-		t.abort()
-		return nil, err
-	}
-}
-
-// awaitResolve blocks a Protocol B read until the pending version it is
-// waiting on resolves, the transaction deadline expires, the reaper kills
-// the transaction, or the engine shuts down. A nil return means the
-// version resolved and the read should retry.
-func (t *updateTxn) awaitResolve(g schema.GranuleID, resolved <-chan struct{}) error {
-	e := t.eng
-	var timerC <-chan time.Time
-	if !t.deadline.IsZero() {
-		d := time.Until(t.deadline)
-		if d < 0 {
-			d = 0
-		}
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		timerC = timer.C
-	}
-	select {
-	case <-resolved:
-		return nil
-	case <-t.cancel:
-		// Force-aborted while blocked; deadErr was set before cancel
-		// closed.
-		t.mu.Lock()
-		err := t.deadErrLocked()
-		t.mu.Unlock()
-		return err
-	case <-e.closed:
-		t.finishAbort(cc.ErrEngineClosed, false)
-		return cc.ErrEngineClosed
-	case <-timerC:
-		e.ctr.TimedOutReads.Add(1)
-		err := &cc.AbortError{Reason: cc.ReasonTimedOut,
-			Err: fmt.Errorf("read of %v blocked past the transaction deadline", g)}
-		t.finishAbort(err, false)
-		return err
-	}
-}
-
-// Write implements cc.Txn. Writes are restricted to the root segment and
-// follow Protocol B's MVTO admission check; a rejected write aborts the
-// transaction.
-func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
-	e := t.eng
-	if err := e.closedErr(); err != nil {
-		return err
-	}
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErrLocked()
-		t.mu.Unlock()
-		return err
-	}
-	e.ctr.Writes.Add(1)
-	if !e.part.MayWrite(t.class, g.Segment) {
-		t.mu.Unlock()
-		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
-			Err: fmt.Errorf("class %d (%q) may not write segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
-		t.abort()
-		return err
-	}
-	if _, ok := t.writes[g]; ok {
-		e.store.UpdatePending(g, t.init, value)
-		t.writes[g] = append([]byte(nil), value...)
-		t.mu.Unlock()
-		return nil
-	}
-	if err := e.store.InstallChecked(g, t.init, value); err != nil {
-		t.mu.Unlock()
-		e.ctr.RejectedWrites.Add(1)
-		t.abort()
-		return &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: err}
-	}
-	if t.writes == nil {
-		t.writes = make(map[schema.GranuleID][]byte)
-	}
-	t.writes[g] = append([]byte(nil), value...)
-	e.rec.RecordWrite(t.init, g, t.init)
-	t.mu.Unlock()
-	return nil
-}
-
-// Commit implements cc.Txn. Version flips precede the activity-table
-// commit: once the table shows this transaction resolved, every Protocol A
-// threshold that admits its versions must find them committed in the store
-// (the mutexes on both structures give the necessary happens-before).
-func (t *updateTxn) Commit() error {
-	e := t.eng
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErrLocked()
-		t.mu.Unlock()
-		return err
-	}
-	t.done = true
-	for g := range t.writes {
-		e.store.Commit(g, t.init)
-	}
-	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
-	t.mu.Unlock()
-	e.unregister(t.init)
-	e.exitUpdate()
-	e.ctr.Commits.Add(1)
-	e.rec.RecordCommit(t.init, at)
-	e.walls.Poll()
-	e.maybeGC()
-	return nil
-}
-
-// Abort implements cc.Txn.
-func (t *updateTxn) Abort() error {
-	t.abort()
-	return nil
-}
-
-func (t *updateTxn) abort() { t.finishAbort(nil, false) }
-
-// finishAbort moves the transaction to aborted, releasing its pending
-// versions and activity entry. sticky (may be nil) becomes the error
-// subsequent operations return; reaped counts the abort in
-// Stats().ReapedTxns. It reports whether this call performed the abort
-// (false if the transaction already finished).
-func (t *updateTxn) finishAbort(sticky error, reaped bool) bool {
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return false
-	}
-	t.done = true
-	t.deadErr = sticky
-	close(t.cancel)
-	e := t.eng
-	for g := range t.writes {
-		e.store.Abort(g, t.init)
-	}
-	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
-	t.mu.Unlock()
-	e.unregister(t.init)
-	e.exitUpdate()
-	e.ctr.Aborts.Add(1)
-	if reaped {
-		e.ctr.ReapedTxns.Add(1)
-	}
-	e.rec.RecordAbort(t.init, at)
-	e.walls.Poll()
-	return true
-}
-
-// expiry implements liveTxn.
-func (t *updateTxn) expiry() time.Time { return t.deadline }
-
-// reap implements liveTxn: the reaper force-aborts the transaction,
-// releasing its pending versions and activity entry so walls and GC can
-// progress again.
-func (t *updateTxn) reap() bool {
-	return t.finishAbort(&cc.AbortError{Reason: cc.ReasonTimedOut,
-		Err: fmt.Errorf("transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}, true)
-}
-
-// readOnlyTxn is a Protocol C transaction pinned to a released time wall.
-type readOnlyTxn struct {
-	eng      *Engine
-	init     vclock.Time
-	wall     *alink.TimeWall
-	release  func()
-	deadline time.Time
-
-	mu      sync.Mutex
-	done    bool
-	deadErr error
-}
-
-var _ cc.Txn = (*readOnlyTxn)(nil)
-var _ liveTxn = (*readOnlyTxn)(nil)
-
-// ID implements cc.Txn.
-func (t *readOnlyTxn) ID() cc.TxnID { return t.init }
-
-// Class implements cc.Txn.
-func (t *readOnlyTxn) Class() schema.ClassID { return schema.NoClass }
-
-// Read implements cc.Txn: the latest committed version below the wall
-// component of the granule's segment. Never blocks, never registers.
-func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
-	e := t.eng
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErr
-		t.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return nil, cc.ErrTxnDone
-	}
-	t.mu.Unlock()
-	e.ctr.Reads.Add(1)
-	bound := t.wall.Threshold(g.Segment)
-	val, vts, ok := e.store.ReadCommittedBefore(g, bound)
-	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
-}
-
-// Write implements cc.Txn; read-only transactions cannot write.
-func (t *readOnlyTxn) Write(schema.GranuleID, []byte) error {
-	return fmt.Errorf("core: write in a read-only transaction")
-}
-
-// Commit implements cc.Txn.
-func (t *readOnlyTxn) Commit() error {
-	return t.finish(false)
-}
-
-// Abort implements cc.Txn.
-func (t *readOnlyTxn) Abort() error {
-	_ = t.finish(true)
-	return nil
-}
-
-func (t *readOnlyTxn) finish(aborted bool) error {
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErr
-		t.mu.Unlock()
-		if aborted {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		return cc.ErrTxnDone
-	}
-	t.done = true
-	t.mu.Unlock()
-	t.release()
-	e := t.eng
-	e.unregister(t.init)
-	at := e.clock.Tick()
-	if aborted {
-		e.ctr.Aborts.Add(1)
-		e.rec.RecordAbort(t.init, at)
-	} else {
-		e.ctr.Commits.Add(1)
-		e.rec.RecordCommit(t.init, at)
-	}
-	return nil
-}
-
-// expiry implements liveTxn.
-func (t *readOnlyTxn) expiry() time.Time { return t.deadline }
-
-// reap implements liveTxn: an abandoned read-only transaction holds a wall
-// floor that pins garbage collection; reaping releases it.
-func (t *readOnlyTxn) reap() bool {
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return false
-	}
-	t.done = true
-	t.deadErr = &cc.AbortError{Reason: cc.ReasonTimedOut,
-		Err: fmt.Errorf("read-only transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}
-	t.mu.Unlock()
-	t.release()
-	e := t.eng
-	e.unregister(t.init)
-	at := e.clock.Tick()
-	e.ctr.Aborts.Add(1)
-	e.ctr.ReapedTxns.Add(1)
-	e.rec.RecordAbort(t.init, at)
-	return true
-}
-
-// Wall exposes the wall the transaction reads under, for tests.
-func (t *readOnlyTxn) Wall() *alink.TimeWall { return t.wall }
-
-// pathReadOnlyTxn reads along one critical path as a fictitious class below
-// base (§5, Figure 8). Its activity-link thresholds are pinned at begin.
-type pathReadOnlyTxn struct {
-	eng      *Engine
-	init     vclock.Time
-	base     schema.ClassID
-	bounds   map[schema.SegmentID]vclock.Time
-	release  func()
-	deadline time.Time
-
-	mu      sync.Mutex
-	done    bool
-	deadErr error
-}
-
-var _ cc.Txn = (*pathReadOnlyTxn)(nil)
-var _ liveTxn = (*pathReadOnlyTxn)(nil)
-
-// ID implements cc.Txn.
-func (t *pathReadOnlyTxn) ID() cc.TxnID { return t.init }
-
-// Class implements cc.Txn.
-func (t *pathReadOnlyTxn) Class() schema.ClassID { return schema.NoClass }
-
-// Read implements cc.Txn with the fictitious-class Protocol A threshold
-// pinned at initiation.
-func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
-	e := t.eng
-	if err := e.closedErr(); err != nil {
-		return nil, err
-	}
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErr
-		t.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return nil, cc.ErrTxnDone
-	}
-	t.mu.Unlock()
-	bound, ok := t.bounds[g.Segment]
-	if !ok {
-		return nil, fmt.Errorf("core: segment %d is not on the critical path above class %d", g.Segment, t.base)
-	}
-	e.ctr.Reads.Add(1)
-	val, vts, found := e.store.ReadCommittedBefore(g, bound)
-	e.rec.RecordRead(t.init, g, vts, found)
-	return val, nil
-}
-
-// Write implements cc.Txn; read-only transactions cannot write.
-func (t *pathReadOnlyTxn) Write(schema.GranuleID, []byte) error {
-	return fmt.Errorf("core: write in a read-only transaction")
-}
-
-// Commit implements cc.Txn.
-func (t *pathReadOnlyTxn) Commit() error {
-	return t.finish(false)
-}
-
-// Abort implements cc.Txn.
-func (t *pathReadOnlyTxn) Abort() error {
-	_ = t.finish(true)
-	return nil
-}
-
-func (t *pathReadOnlyTxn) finish(aborted bool) error {
-	t.mu.Lock()
-	if t.done {
-		err := t.deadErr
-		t.mu.Unlock()
-		if aborted {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		return cc.ErrTxnDone
-	}
-	t.done = true
-	t.mu.Unlock()
-	t.release()
-	e := t.eng
-	e.unregister(t.init)
-	at := e.clock.Tick()
-	if aborted {
-		e.ctr.Aborts.Add(1)
-		e.rec.RecordAbort(t.init, at)
-	} else {
-		e.ctr.Commits.Add(1)
-		e.rec.RecordCommit(t.init, at)
-	}
-	return nil
-}
-
-// expiry implements liveTxn.
-func (t *pathReadOnlyTxn) expiry() time.Time { return t.deadline }
-
-// reap implements liveTxn: releases the pinned activity-link floor so
-// garbage collection can advance past an abandoned path reader.
-func (t *pathReadOnlyTxn) reap() bool {
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return false
-	}
-	t.done = true
-	t.deadErr = &cc.AbortError{Reason: cc.ReasonTimedOut,
-		Err: fmt.Errorf("path read-only transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}
-	t.mu.Unlock()
-	t.release()
-	e := t.eng
-	e.unregister(t.init)
-	at := e.clock.Tick()
-	e.ctr.Aborts.Add(1)
-	e.ctr.ReapedTxns.Add(1)
-	e.rec.RecordAbort(t.init, at)
-	return true
 }

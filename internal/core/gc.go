@@ -1,0 +1,45 @@
+package core
+
+// Garbage collection: the §7.3 maintenance duty. Version chains and
+// activity history are pruned against a watermark no future read bound or
+// activity query can reach.
+
+import "hdd/internal/vclock"
+
+// maybeGC runs store GC and activity pruning when the commit counter
+// crosses the configured period.
+func (e *Engine) maybeGC() {
+	if e.gcEvery <= 0 {
+		return
+	}
+	if e.commitCounter.Add(1)%e.gcEvery != 0 {
+		return
+	}
+	watermark := e.gcWatermark()
+	e.store.GC(watermark)
+	e.act.PruneBefore(watermark)
+	e.gcRuns.Add(1)
+}
+
+// gcWatermark computes the instant below which no future read bound or
+// activity query can reach: the minimum of live initiation times and the
+// wall floor, closed under I_old (see activity.Set.ClosedWatermark — a
+// threshold chain can dig below any live transaction's initiation by
+// following historical activity overlaps).
+func (e *Engine) gcWatermark() vclock.Time {
+	now := e.clock.Now()
+	w := vclock.Min(e.act.GlobalWatermark(now), e.walls.SafeFloor())
+	return e.act.ClosedWatermark(w)
+}
+
+// GCRuns reports how many automatic GC cycles have run.
+func (e *Engine) GCRuns() int64 { return e.gcRuns.Load() }
+
+// ForceGC runs one GC cycle immediately with a freshly computed watermark
+// and returns the number of store versions pruned.
+func (e *Engine) ForceGC() int {
+	watermark := e.gcWatermark()
+	pruned := e.store.GC(watermark)
+	e.act.PruneBefore(watermark)
+	return pruned
+}

@@ -1,0 +1,134 @@
+package core
+
+// Transaction admission: the Begin* family. Every path follows the same
+// shape — admission gate (update transactions only), barrier-windowed
+// initiation tick, counter/recorder bookkeeping, registration with the
+// reaper — and differs only in the protocol state it pins at begin.
+
+import (
+	"fmt"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// Begin implements cc.Engine: it starts an update transaction of the given
+// class, with the engine's configured transaction timeout.
+func (e *Engine) Begin(class schema.ClassID) (cc.Txn, error) {
+	return e.BeginWithTimeout(class, e.txnTimeout)
+}
+
+// BeginWithTimeout starts an update transaction with a per-transaction
+// deadline overriding Config.TxnTimeout; timeout <= 0 means no deadline.
+func (e *Engine) BeginWithTimeout(class schema.ClassID, timeout time.Duration) (cc.Txn, error) {
+	if class < 0 || int(class) >= e.part.NumClasses() {
+		return nil, fmt.Errorf("core: unknown class %d", class)
+	}
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	e.enterUpdate(class)
+	// BeginTxn's barrier window guarantees that any instant later drawn
+	// through the activity set's TickBarrier observes this registration —
+	// the property every I_old(m) evaluation relies on (see activity.Set).
+	init := e.act.BeginTxn(int(class), e.clock)
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, class, false)
+	t := &updateTxn{eng: e, init: init, class: class,
+		deadline: deadlineFor(timeout), cancel: make(chan struct{})}
+	e.live.register(init, t)
+	return t, nil
+}
+
+// BeginReadOnly implements cc.Engine: it starts an ad-hoc read-only
+// transaction under Protocol C, reading below the most recently released
+// time wall (§5.2). It never blocks and never registers reads.
+func (e *Engine) BeginReadOnly() (cc.Txn, error) {
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	init := e.clock.Tick()
+	// Acquiring (rather than just reading) the wall pins its floor
+	// against garbage collection for the transaction's lifetime: a newer
+	// wall may release meanwhile, and GC keyed only to the current wall
+	// would prune versions this transaction's wall still directs it to.
+	wall, release := e.walls.AcquireCurrent()
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, schema.NoClass, true)
+	t := &readOnlyTxn{eng: e, init: init, wall: wall, release: release,
+		deadline: deadlineFor(e.txnTimeout)}
+	e.live.register(init, t)
+	return t, nil
+}
+
+// BeginReadOnlyOnPath starts a read-only transaction whose entire read set
+// lies on the critical path through base and upward (§5, Figure 8). It runs
+// as a fictitious update class immediately below base: every read uses a
+// Protocol A threshold, so it sees fresher data than a Protocol C
+// transaction without registering anything. Reads outside the critical path
+// through base fail the class check.
+func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
+	if base < 0 || int(base) >= e.part.NumClasses() {
+		return nil, fmt.Errorf("core: unknown class %d", base)
+	}
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	// The fictitious-class thresholds evaluate I_old at this instant, so
+	// it must be a barrier tick. Thresholds are pinned eagerly for every
+	// segment on the critical path: the values are functions of init
+	// alone, and pinning both fixes them against activity-history pruning
+	// and lets the floor below be registered with the garbage collector.
+	init := e.act.TickBarrier(e.clock)
+	bounds := make(map[schema.SegmentID]vclock.Time)
+	floor := init
+	for s := 0; s < e.part.NumSegments(); s++ {
+		target := schema.ClassID(s)
+		if target != base && !e.part.Higher(target, base) {
+			continue
+		}
+		b := e.links.AFrom(base, target, init)
+		bounds[schema.SegmentID(s)] = b
+		if b < floor {
+			floor = b
+		}
+	}
+	release := e.walls.AcquireFloor(floor)
+	e.ctr.Begins.Add(1)
+	e.rec.RecordBegin(init, schema.NoClass, true)
+	t := &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds,
+		release: release, deadline: deadlineFor(e.txnTimeout)}
+	e.live.register(init, t)
+	return t, nil
+}
+
+// BeginReadOnlyFor starts a read-only transaction declared to read only
+// the given segments, choosing the protocol the way §5 prescribes: if the
+// segments lie on one critical path of the DHG, the transaction runs as a
+// fictitious class below the path's lowest class (Protocol A semantics —
+// fresher); otherwise it reads below the current time wall (Protocol C).
+// Reads outside the declared set fail under the on-path variant and are
+// allowed (wall-bounded) under the wall variant.
+func (e *Engine) BeginReadOnlyFor(segments ...schema.SegmentID) (cc.Txn, error) {
+	classes := make([]schema.ClassID, 0, len(segments))
+	for _, s := range segments {
+		if s < 0 || int(s) >= e.part.NumSegments() {
+			return nil, fmt.Errorf("core: unknown segment %d", s)
+		}
+		classes = append(classes, schema.ClassID(s))
+	}
+	if len(classes) > 0 && e.part.OnOneCriticalPath(classes) {
+		// The base is the lowest declared class: every other declared
+		// segment is on the critical path above it.
+		base := classes[0]
+		for _, c := range classes[1:] {
+			if e.part.Higher(base, c) {
+				base = c
+			}
+		}
+		return e.BeginReadOnlyOnPath(base)
+	}
+	return e.BeginReadOnly()
+}

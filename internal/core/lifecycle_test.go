@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// TestConcurrentLifecycleBarrierObserver hammers Begin/Commit/Abort across
+// every class while observer goroutines repeatedly draw barrier instants
+// and re-evaluate I_old(m) for the same m. The begin barrier's contract is
+// that I_old(m) is immutable once TickBarrier returns m: every transaction
+// with an initiation tick below m is registered, so later begins (init >
+// m) and later finishes (done > m) cannot change which transactions were
+// active at m. Without the barrier, a begin in flight during the first
+// evaluation could register before the second and make I_old(m) shrink.
+// Run under -race via make check.
+func TestConcurrentLifecycleBarrierObserver(t *testing.T) {
+	e := newEngine(t, branching(t), nil)
+	defer e.Close()
+
+	const workers = 8
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+
+	stop := make(chan struct{})
+	var obsWG sync.WaitGroup
+	for o := 0; o < 2; o++ {
+		obsWG.Add(1)
+		go func() {
+			defer obsWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := e.act.TickBarrier(e.clock)
+				first := make([]vclock.Time, e.act.Len())
+				for c := 0; c < e.act.Len(); c++ {
+					first[c] = e.act.Class(c).IOld(m)
+					if first[c] > m {
+						t.Errorf("I_old(%d) = %d > m for class %d", m, first[c], c)
+					}
+				}
+				runtime.Gosched()
+				for c := 0; c < e.act.Len(); c++ {
+					if again := e.act.Class(c).IOld(m); again != first[c] {
+						t.Errorf("I_old(%d) for class %d changed between evaluations: %d then %d",
+							m, c, first[c], again)
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			class := schema.ClassID(w % e.part.NumClasses())
+			g := gr(int(class), w) // private root key per worker
+			for i := 0; i < iters; i++ {
+				txn, err := e.Begin(class)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := txn.Write(g, []byte{byte(i)}); err != nil {
+					var ae *cc.AbortError
+					if errors.As(err, &ae) {
+						continue // rejection aborted the transaction
+					}
+					t.Error(err)
+					return
+				}
+				// Protocol A read up the hierarchy where one exists.
+				if spec := e.part.Class(class); len(spec.Reads) > 0 {
+					if _, err := txn.Read(gr(int(spec.Reads[0]), 0)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%4 == 3 {
+					err = txn.Abort()
+				} else {
+					err = txn.Commit()
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	obsWG.Wait()
+	if n := e.ActiveTxns(); n != 0 {
+		t.Fatalf("%d transactions still registered after all finished", n)
+	}
+}
+
+// TestAdHocNarrowGate: BeginAdHocFor drains only the classes whose TST row
+// conflicts with the declared access set. On the branching partition,
+// writing segment 2 and reading segment 1 conflicts with classes 1 and 2
+// (their roots are accessed) but not with class 0 (its root is untouched
+// and it reads nothing the ad-hoc transaction writes) or class 3 (reads
+// only segment 0).
+func TestAdHocNarrowGate(t *testing.T) {
+	e := newEngine(t, branching(t), nil)
+	defer e.Close()
+
+	// Hold open an update transaction of a non-conflicting class. With the
+	// old whole-engine gate, BeginAdHocFor would block behind it forever.
+	open0, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, err := e.BeginAdHocFor(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-conflicting classes run full lifecycles while the ad-hoc
+	// transaction is active.
+	for _, c := range []schema.ClassID{0, 3} {
+		txn, err := e.Begin(c)
+		if err != nil {
+			t.Fatalf("class %d begin during ad-hoc: %v", c, err)
+		}
+		write(t, txn, gr(int(c), 9), "concurrent")
+		mustCommit(t, txn)
+	}
+
+	// A conflicting class is held off until the ad-hoc commit.
+	began1 := make(chan struct{})
+	go func() {
+		txn, err := e.Begin(1)
+		if err == nil {
+			_ = txn.Abort()
+		}
+		close(began1)
+	}()
+	select {
+	case <-began1:
+		t.Fatal("class 1 began while a conflicting ad-hoc transaction was active")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	if _, err := ah.Read(gr(1, 9)); err != nil {
+		t.Fatalf("declared read: %v", err)
+	}
+	write(t, ah, gr(2, 9), "adhoc")
+	mustCommit(t, ah)
+	<-began1
+	mustCommit(t, open0)
+}
+
+// TestAdHocDeclaredReadEnforced: a declared ad-hoc transaction reading
+// outside its declared set aborts with a class violation — the conflict
+// set it drained does not cover that segment, so the solo-execution
+// argument would not hold.
+func TestAdHocDeclaredReadEnforced(t *testing.T) {
+	e := newEngine(t, branching(t), nil)
+	defer e.Close()
+
+	ah, err := e.BeginAdHocFor(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ah.Read(gr(3, 1))
+	if !cc.IsAbort(err) || cc.AbortReason(err) != cc.ReasonClassViolation {
+		t.Fatalf("undeclared read err = %v", err)
+	}
+	// The abort released the held gates: a conflicting class begins again.
+	txn, err := e.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+}
+
+// TestAdHocForUnknownSegment rejects out-of-range declared segments.
+func TestAdHocForUnknownSegment(t *testing.T) {
+	e := newEngine(t, branching(t), nil)
+	defer e.Close()
+	if _, err := e.BeginAdHocFor(2, 99); err == nil {
+		t.Fatal("expected error for unknown read segment")
+	}
+	if _, err := e.BeginAdHocFor(99); err == nil {
+		t.Fatal("expected error for unknown write segment")
+	}
+}

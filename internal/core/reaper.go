@@ -2,8 +2,6 @@ package core
 
 import (
 	"time"
-
-	"hdd/internal/cc"
 )
 
 // Stuck-transaction reaping.
@@ -19,11 +17,12 @@ import (
 // floor through their wall acquisition.
 //
 // The reaper is the engine's answer: every in-flight transaction registers
-// itself with a deadline, and a background goroutine periodically
-// force-aborts those that outlive it. Force-abort releases exactly what the
-// transaction holds — pending versions, the activity-table entry, the
-// update-gate share, wall-floor acquisitions — after which the next wall
-// Poll and GC cycle proceed as if the client had aborted properly.
+// itself with a deadline (in the TxnID-striped liveRegistry, registry.go),
+// and a background goroutine periodically force-aborts those that outlive
+// it. Force-abort releases exactly what the transaction holds — pending
+// versions, the activity-table entry, the update-gate share, wall-floor
+// acquisitions — after which the next wall Poll and GC cycle proceed as if
+// the client had aborted properly.
 
 // liveTxn is the reaper's view of an in-flight transaction.
 type liveTxn interface {
@@ -36,27 +35,9 @@ type liveTxn interface {
 	reap() bool
 }
 
-// register adds an in-flight transaction to the reaper's registry.
-func (e *Engine) register(id cc.TxnID, t liveTxn) {
-	e.liveMu.Lock()
-	e.live[id] = t
-	e.liveMu.Unlock()
-}
-
-// unregister removes a finished transaction from the registry.
-func (e *Engine) unregister(id cc.TxnID) {
-	e.liveMu.Lock()
-	delete(e.live, id)
-	e.liveMu.Unlock()
-}
-
 // ActiveTxns reports the number of in-flight transactions (update,
 // read-only, and ad-hoc), for tests and monitoring.
-func (e *Engine) ActiveTxns() int {
-	e.liveMu.Lock()
-	defer e.liveMu.Unlock()
-	return len(e.live)
-}
+func (e *Engine) ActiveTxns() int { return e.live.count() }
 
 // reaper is the background loop started by NewEngine when deadlines are
 // enabled. It exits when the engine closes.
@@ -79,19 +60,13 @@ func (e *Engine) reaper(interval time.Duration) {
 // it periodically; tests call it directly for determinism. Reaped
 // transactions are counted in Stats().ReapedTxns, and their clients see a
 // cc.AbortError with cc.ReasonTimedOut on the next operation.
+//
+// Victims are collected stripe by stripe and reaped with no stripe lock
+// held: reap() re-enters unregister, and a concurrent normal completion
+// may win the race (reap reports false then).
 func (e *Engine) ReapExpired(now time.Time) int {
-	e.liveMu.Lock()
-	var victims []liveTxn
-	for _, t := range e.live {
-		if d := t.expiry(); !d.IsZero() && now.After(d) {
-			victims = append(victims, t)
-		}
-	}
-	e.liveMu.Unlock()
-	// Reap outside liveMu: reap() re-enters unregister, and a concurrent
-	// normal completion may win the race (reap reports false then).
 	n := 0
-	for _, t := range victims {
+	for _, t := range e.live.expired(now) {
 		if t.reap() {
 			n++
 		}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"hdd/internal/cc"
+)
+
+// The in-flight transaction registry.
+//
+// Every transaction registers at begin and unregisters at finish, so the
+// registry mutates on the hottest path in the engine. A single
+// mutex-guarded map serialized every begin against every commit across all
+// classes; the registry is therefore striped by TxnID — initiation ticks
+// are dense and sequential, so consecutive transactions land on distinct
+// stripes round-robin and two lifecycle operations contend only when their
+// ids collide modulo the stripe count. Only the reaper and diagnostics
+// walk all stripes.
+
+// liveStripes is the number of registry stripes. Power of two, sized well
+// above any realistic core count so register/unregister collisions are
+// rare.
+const liveStripes = 64
+
+// liveStripe is one shard of the registry, padded so neighbouring stripes'
+// locks do not false-share a cache line.
+type liveStripe struct {
+	mu   sync.Mutex
+	txns map[cc.TxnID]liveTxn
+	_    [32]byte
+}
+
+// liveRegistry is the striped in-flight transaction registry.
+type liveRegistry struct {
+	stripes [liveStripes]liveStripe
+}
+
+func (r *liveRegistry) init() {
+	for i := range r.stripes {
+		r.stripes[i].txns = make(map[cc.TxnID]liveTxn)
+	}
+}
+
+func (r *liveRegistry) stripe(id cc.TxnID) *liveStripe {
+	return &r.stripes[uint64(id)&(liveStripes-1)]
+}
+
+// register adds an in-flight transaction.
+func (r *liveRegistry) register(id cc.TxnID, t liveTxn) {
+	s := r.stripe(id)
+	s.mu.Lock()
+	s.txns[id] = t
+	s.mu.Unlock()
+}
+
+// unregister removes a finished transaction.
+func (r *liveRegistry) unregister(id cc.TxnID) {
+	s := r.stripe(id)
+	s.mu.Lock()
+	delete(s.txns, id)
+	s.mu.Unlock()
+}
+
+// count returns the number of in-flight transactions.
+func (r *liveRegistry) count() int {
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.txns)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// expired collects the transactions whose deadline precedes now, stripe by
+// stripe. No stripe lock is held across two stripes, and none while the
+// caller reaps (reap re-enters unregister).
+func (r *liveRegistry) expired(now time.Time) []liveTxn {
+	var victims []liveTxn
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			if d := t.expiry(); !d.IsZero() && now.After(d) {
+				victims = append(victims, t)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return victims
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// updateTxn is an update transaction of one class.
+//
+// The mutex exists for the reaper: the owning client drives Read/Write/
+// Commit/Abort from one goroutine, but the background reaper (and a Close
+// racing a blocked read) may force-abort the transaction from another.
+// Every state transition and every store mutation happens under mu, so a
+// force-abort either observes an installed pending version (and removes
+// it) or excludes the install entirely — no version can leak past the
+// abort and pin the activity tables forever.
+type updateTxn struct {
+	eng      *Engine
+	init     vclock.Time
+	class    schema.ClassID
+	deadline time.Time // zero = no deadline
+
+	mu   sync.Mutex
+	done bool
+	// deadErr is the sticky error set by a force-abort (reaper, deadline,
+	// shutdown); subsequent operations return it so the client learns the
+	// transaction was killed rather than finished.
+	deadErr error
+	// cancel is closed by a force-abort to wake a blocked read.
+	cancel chan struct{}
+	// writes tracks granules with an installed pending version, for
+	// commit/abort and read-your-own-writes.
+	writes map[schema.GranuleID][]byte
+}
+
+var _ cc.Txn = (*updateTxn)(nil)
+var _ liveTxn = (*updateTxn)(nil)
+
+// ID implements cc.Txn.
+func (t *updateTxn) ID() cc.TxnID { return t.init }
+
+// Class implements cc.Txn.
+func (t *updateTxn) Class() schema.ClassID { return t.class }
+
+// deadErrLocked returns the error operations on a finished transaction
+// surface: the sticky force-abort error if one was set, cc.ErrTxnDone
+// otherwise. Callers must hold t.mu.
+func (t *updateTxn) deadErrLocked() error {
+	if t.deadErr != nil {
+		return t.deadErr
+	}
+	return cc.ErrTxnDone
+}
+
+// Read implements cc.Txn. Reads in the root segment follow Protocol B
+// (registered, may wait); reads in higher segments follow Protocol A
+// (non-blocking, trace-free). A blocked Protocol B read wakes on the
+// transaction deadline (aborting with cc.ReasonTimedOut) and on engine
+// shutdown (returning cc.ErrEngineClosed).
+func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
+	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return nil, err
+	}
+	e.ctr.Reads.Add(1)
+	if v, ok := t.writes[g]; ok {
+		out := append([]byte(nil), v...)
+		t.mu.Unlock()
+		e.rec.RecordRead(t.init, g, t.init, true)
+		return out, nil
+	}
+	t.mu.Unlock()
+	root := e.part.Class(t.class).Writes
+	switch {
+	case g.Segment == root:
+		// Protocol B: registered read at the transaction's own timestamp
+		// (RootMVTO), or of the globally latest version with a
+		// read-too-late rejection (RootBasicTO).
+		bound := t.init
+		if e.rootProto == RootBasicTO {
+			bound = vclock.Infinity
+		}
+		for {
+			val, vts, ok, wait := e.store.ReadRegistered(g, bound, t.init)
+			if wait != nil {
+				// Basic TO must reject a read behind a *younger*
+				// prewrite rather than wait for it: the younger writer's
+				// own reads may be waiting on this transaction's pending
+				// versions the other way, and the age-ordered
+				// no-deadlock argument only covers waits on elders.
+				if e.rootProto == RootBasicTO && vts > t.init {
+					e.ctr.RejectedReads.Add(1)
+					err := &cc.AbortError{Reason: cc.ReasonReadRejected,
+						Err: fmt.Errorf("basic-TO root read of %v at %d behind prewrite at %d", g, t.init, vts)}
+					t.abort()
+					return nil, err
+				}
+				e.ctr.BlockedReads.Add(1)
+				if err := t.awaitResolve(g, wait); err != nil {
+					return nil, err
+				}
+				// The reaper may have force-aborted the transaction while
+				// the read was blocked; re-check before touching the
+				// store again.
+				t.mu.Lock()
+				if t.done {
+					err := t.deadErrLocked()
+					t.mu.Unlock()
+					return nil, err
+				}
+				t.mu.Unlock()
+				continue
+			}
+			if e.rootProto == RootBasicTO && ok && vts > t.init {
+				e.ctr.RejectedReads.Add(1)
+				err := &cc.AbortError{Reason: cc.ReasonReadRejected,
+					Err: fmt.Errorf("basic-TO root read of %v at %d after write at %d", g, t.init, vts)}
+				t.abort()
+				return nil, err
+			}
+			e.ctr.ReadRegistrations.Add(1)
+			e.rec.RecordRead(t.init, g, vts, ok)
+			return val, nil
+		}
+	case e.part.MayRead(t.class, g.Segment):
+		// Protocol A: the segment is higher in the DHG; serve the latest
+		// committed version below the activity-link threshold. Nothing is
+		// registered and the read cannot block (§4.2).
+		bound := e.links.A(t.class, schema.ClassID(g.Segment), t.init)
+		val, vts, ok := e.store.ReadCommittedBefore(g, bound)
+		e.rec.RecordRead(t.init, g, vts, ok)
+		return val, nil
+	default:
+		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
+			Err: fmt.Errorf("class %d (%q) may not read segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
+		t.abort()
+		return nil, err
+	}
+}
+
+// awaitResolve blocks a Protocol B read until the pending version it is
+// waiting on resolves, the transaction deadline expires, the reaper kills
+// the transaction, or the engine shuts down. A nil return means the
+// version resolved and the read should retry.
+func (t *updateTxn) awaitResolve(g schema.GranuleID, resolved <-chan struct{}) error {
+	e := t.eng
+	var timerC <-chan time.Time
+	if !t.deadline.IsZero() {
+		d := time.Until(t.deadline)
+		if d < 0 {
+			d = 0
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case <-resolved:
+		return nil
+	case <-t.cancel:
+		// Force-aborted while blocked; deadErr was set before cancel
+		// closed.
+		t.mu.Lock()
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	case <-e.closed:
+		t.finishAbort(cc.ErrEngineClosed, false)
+		return cc.ErrEngineClosed
+	case <-timerC:
+		e.ctr.TimedOutReads.Add(1)
+		err := &cc.AbortError{Reason: cc.ReasonTimedOut,
+			Err: fmt.Errorf("read of %v blocked past the transaction deadline", g)}
+		t.finishAbort(err, false)
+		return err
+	}
+}
+
+// Write implements cc.Txn. Writes are restricted to the root segment and
+// follow Protocol B's MVTO admission check; a rejected write aborts the
+// transaction.
+func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
+	e := t.eng
+	if err := e.closedErr(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	}
+	e.ctr.Writes.Add(1)
+	if !e.part.MayWrite(t.class, g.Segment) {
+		t.mu.Unlock()
+		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
+			Err: fmt.Errorf("class %d (%q) may not write segment %d", t.class, e.part.Class(t.class).Name, g.Segment)}
+		t.abort()
+		return err
+	}
+	if _, ok := t.writes[g]; ok {
+		e.store.UpdatePending(g, t.init, value)
+		t.writes[g] = append([]byte(nil), value...)
+		t.mu.Unlock()
+		return nil
+	}
+	if err := e.store.InstallChecked(g, t.init, value); err != nil {
+		t.mu.Unlock()
+		e.ctr.RejectedWrites.Add(1)
+		t.abort()
+		return &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: err}
+	}
+	if t.writes == nil {
+		t.writes = make(map[schema.GranuleID][]byte)
+	}
+	t.writes[g] = append([]byte(nil), value...)
+	e.rec.RecordWrite(t.init, g, t.init)
+	t.mu.Unlock()
+	return nil
+}
+
+// Commit implements cc.Txn. Version flips precede the activity-table
+// commit: once the table shows this transaction resolved, every Protocol A
+// threshold that admits its versions must find them committed in the store
+// (the mutexes on both structures give the necessary happens-before).
+func (t *updateTxn) Commit() error {
+	e := t.eng
+	t.mu.Lock()
+	if t.done {
+		err := t.deadErrLocked()
+		t.mu.Unlock()
+		return err
+	}
+	t.done = true
+	for g := range t.writes {
+		e.store.Commit(g, t.init)
+	}
+	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
+	t.mu.Unlock()
+	e.live.unregister(t.init)
+	e.exitUpdate(t.class)
+	e.ctr.Commits.Add(1)
+	e.rec.RecordCommit(t.init, at)
+	e.walls.Poll()
+	e.maybeGC()
+	return nil
+}
+
+// Abort implements cc.Txn.
+func (t *updateTxn) Abort() error {
+	t.abort()
+	return nil
+}
+
+func (t *updateTxn) abort() { t.finishAbort(nil, false) }
+
+// finishAbort moves the transaction to aborted, releasing its pending
+// versions and activity entry. sticky (may be nil) becomes the error
+// subsequent operations return; reaped counts the abort in
+// Stats().ReapedTxns. It reports whether this call performed the abort
+// (false if the transaction already finished).
+func (t *updateTxn) finishAbort(sticky error, reaped bool) bool {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return false
+	}
+	t.done = true
+	t.deadErr = sticky
+	close(t.cancel)
+	e := t.eng
+	for g := range t.writes {
+		e.store.Abort(g, t.init)
+	}
+	at := e.act.FinishTxn(int(t.class), t.init, e.clock, true)
+	t.mu.Unlock()
+	e.live.unregister(t.init)
+	e.exitUpdate(t.class)
+	e.ctr.Aborts.Add(1)
+	if reaped {
+		e.ctr.ReapedTxns.Add(1)
+	}
+	e.rec.RecordAbort(t.init, at)
+	e.walls.Poll()
+	return true
+}
+
+// expiry implements liveTxn.
+func (t *updateTxn) expiry() time.Time { return t.deadline }
+
+// reap implements liveTxn: the reaper force-aborts the transaction,
+// releasing its pending versions and activity entry so walls and GC can
+// progress again.
+func (t *updateTxn) reap() bool {
+	return t.finishAbort(&cc.AbortError{Reason: cc.ReasonTimedOut,
+		Err: fmt.Errorf("transaction %d force-aborted by the reaper after exceeding its deadline", t.init)}, true)
+}

@@ -12,7 +12,6 @@ package mvstore
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -117,7 +116,7 @@ func (s *Store) chainOf(g schema.GranuleID, create bool) *chain {
 
 // locate returns the index of the latest version with ts < bound, or -1.
 func (c *chain) locate(bound vclock.Time) int {
-	return sort.Search(len(c.versions), func(i int) bool { return c.versions[i].ts >= bound }) - 1
+	return vclock.Locate(len(c.versions), func(i int) vclock.Time { return c.versions[i].ts }, bound)
 }
 
 // ErrVersionExists is returned when installing a version whose timestamp is

@@ -17,7 +17,6 @@ package segctl
 
 import (
 	"fmt"
-	"sort"
 
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
@@ -118,8 +117,10 @@ func (c *Controller) chainOf(g schema.GranuleID, create bool) *chain {
 }
 
 // locate returns the index of the latest version with ts < bound, or -1.
+// The bound convention (exclusive) is owned by vclock.Locate, shared with
+// internal/mvstore so the two implementations cannot drift.
 func (ch *chain) locate(bound vclock.Time) int {
-	return sort.Search(len(ch.versions), func(i int) bool { return ch.versions[i].ts >= bound }) - 1
+	return vclock.Locate(len(ch.versions), func(i int) vclock.Time { return ch.versions[i].ts }, bound)
 }
 
 // run is the message loop.

@@ -1,0 +1,17 @@
+package vclock
+
+import "sort"
+
+// Locate returns the index of the last of n timestamp-ordered elements
+// whose timestamp (as reported by ts, ascending in the index) is strictly
+// below bound, or -1 if none is.
+//
+// This is the version-chain lookup every multi-version structure in the
+// repository performs — "the latest version with write timestamp < bound"
+// — shared here so the shared-memory store (internal/mvstore) and the
+// segment-controller actors (internal/segctl) cannot drift apart on the
+// boundary convention: bounds are exclusive, matching the paper's
+// "strictly below the threshold" reads (§4.2, §5.2).
+func Locate(n int, ts func(int) Time, bound Time) int {
+	return sort.Search(n, func(i int) bool { return ts(i) >= bound }) - 1
+}

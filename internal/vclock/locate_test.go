@@ -1,0 +1,28 @@
+package vclock
+
+import "testing"
+
+func TestLocate(t *testing.T) {
+	ts := []Time{3, 7, 7, 12}
+	at := func(i int) Time { return ts[i] }
+	cases := []struct {
+		bound Time
+		want  int
+	}{
+		{0, -1},  // everything at or above the bound
+		{3, -1},  // bound is exclusive
+		{4, 0},   // only ts[0] below
+		{7, 0},   // duplicates at the bound excluded
+		{8, 2},   // duplicates below included; latest wins
+		{12, 2},  // exclusive again
+		{100, 3}, // everything below
+	}
+	for _, c := range cases {
+		if got := Locate(len(ts), at, c.bound); got != c.want {
+			t.Errorf("Locate(%v, bound=%d) = %d, want %d", ts, c.bound, got, c.want)
+		}
+	}
+	if got := Locate(0, func(int) Time { panic("unreachable") }, 5); got != -1 {
+		t.Errorf("Locate on empty = %d, want -1", got)
+	}
+}
