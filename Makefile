@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-smoke experiments examples check clean
+.PHONY: all build vet test race cover bench bench-parallel bench-smoke experiments examples check clean serve loadtest
 
 all: build vet test
 
@@ -41,6 +41,15 @@ bench-parallel:
 bench-smoke:
 	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
 	$(MAKE) bench-parallel BENCHTIME=1x
+
+# Run the networked HDD service in the foreground (Ctrl-C drains).
+serve:
+	$(GO) run ./cmd/hddserver
+
+# End-to-end network smoke: hddserver + hddload, latency archived as
+# BENCH_net.json. CLIENTS/TXNS/OUT env vars tune the run.
+loadtest:
+	sh scripts/loadtest.sh
 
 # Paper-style experiment tables with shape checks.
 experiments:

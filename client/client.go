@@ -1,0 +1,238 @@
+// Package client is the Go client for the networked HDD service
+// (internal/server, cmd/hddserver). It exposes the same Txn-shaped API as
+// the embedded engine — Begin/BeginReadOnly/BeginAdHocFor return an
+// hdd.Txn — so code written against the library, including hdd.Run /
+// hdd.RunCtx retry loops, works unchanged against a remote engine:
+//
+//	c, err := client.Dial("127.0.0.1:7070")
+//	// handle err
+//	defer c.Close()
+//	err = hdd.Run(c, postClass, func(t hdd.Txn) error {
+//		v, err := t.Read(g)
+//		if err != nil {
+//			return err
+//		}
+//		return t.Write(g, next(v))
+//	}, hdd.RetryPolicy{})
+//
+// Engine aborts arrive as real abort errors — hdd.IsAbort reports true for
+// them, exactly as with the embedded engine — and a shut-down server
+// surfaces hdd.ErrEngineClosed.
+//
+// # Connections
+//
+// The client pools TCP connections. A transaction pins one connection from
+// Begin until Commit/Abort (requests on a connection are serialized by the
+// server), after which the connection returns to the pool; Stats and
+// concurrent transactions draw their own connections. Dropping the client
+// (or crashing) closes the connections, and the server force-aborts any
+// transactions left open — no explicit hand-off is required, though
+// calling Abort promptly is kinder to walls and GC.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sync"
+
+	"hdd"
+	"hdd/internal/wire"
+)
+
+// Option configures a Client.
+type Option func(*options)
+
+type options struct {
+	dialTimeout    time.Duration
+	requestTimeout time.Duration
+	maxIdle        int
+}
+
+// WithDialTimeout bounds each TCP dial. Default 5s.
+func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithRequestTimeout bounds each request round-trip, including any time
+// the server spends blocked in a Protocol B read on the transaction's
+// behalf. Default 30s; it should comfortably exceed the server's
+// transaction timeout.
+func WithRequestTimeout(d time.Duration) Option { return func(o *options) { o.requestTimeout = d } }
+
+// WithMaxIdleConns caps the pooled idle connections. Default 8.
+func WithMaxIdleConns(n int) Option { return func(o *options) { o.maxIdle = n } }
+
+// Client is a pooled connection to one HDD server. It is safe for
+// concurrent use; the transactions it returns are not (a transaction
+// belongs to one goroutine, as with the embedded engine).
+type Client struct {
+	addr string
+	opt  options
+
+	mu     sync.Mutex
+	free   []*conn
+	conns  map[*conn]struct{} // every live connection, pooled or pinned
+	closed bool
+}
+
+// Client satisfies hdd.Beginner, so hdd.Run / hdd.RunCtx accept it.
+var _ hdd.Beginner = (*Client)(nil)
+
+// Dial connects to an HDD server. It validates the address by opening
+// (and pooling) one connection.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{dialTimeout: 5 * time.Second, requestTimeout: 30 * time.Second, maxIdle: 8}
+	for _, f := range opts {
+		f(&o)
+	}
+	c := &Client{addr: addr, opt: o, conns: make(map[*conn]struct{})}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	c.put(cn)
+	return c, nil
+}
+
+// Begin starts an update transaction of the given class on the server.
+func (c *Client) Begin(class hdd.ClassID) (hdd.Txn, error) {
+	return c.begin(&wire.Request{Op: wire.OpBegin, Class: int32(class)})
+}
+
+// BeginReadOnly starts an ad-hoc read-only transaction (Protocol C).
+func (c *Client) BeginReadOnly() (hdd.Txn, error) {
+	return c.begin(&wire.Request{Op: wire.OpBeginReadOnly})
+}
+
+// BeginAdHocFor starts a §7.1 ad-hoc update transaction writing writeSeg
+// and reading only the declared segments; the server drains the conflicting
+// classes before it returns.
+func (c *Client) BeginAdHocFor(writeSeg hdd.SegmentID, reads ...hdd.SegmentID) (hdd.Txn, error) {
+	req := &wire.Request{Op: wire.OpBeginAdHocFor, WriteSeg: int32(writeSeg)}
+	for _, r := range reads {
+		req.ReadSegs = append(req.ReadSegs, int32(r))
+	}
+	return c.begin(req)
+}
+
+func (c *Client) begin(req *wire.Request) (hdd.Txn, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.roundTrip(req)
+	if err != nil {
+		cn.close()
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	return &Txn{cl: c, cn: cn, id: resp.Txn, class: hdd.ClassID(resp.Class)}, nil
+}
+
+// Stats fetches the server's counter snapshot: engine counters (begins,
+// commits, aborts, reaped_txns, …), server gauges (sessions_open,
+// txns_open, force_aborts, …), and request-latency histogram summaries
+// (commit_p99_ns, read_mean_ns, …). Durations are in nanoseconds.
+func (c *Client) Stats() (map[string]int64, error) {
+	cn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		cn.close()
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		c.put(cn)
+		return nil, err
+	}
+	c.put(cn)
+	out := make(map[string]int64, len(resp.Stats))
+	for _, e := range resp.Stats {
+		out[e.Name] = e.Value
+	}
+	return out, nil
+}
+
+// Close closes every connection the client owns — pooled and pinned alike
+// — so the server promptly force-aborts any transactions still in flight;
+// their Txn handles fail with transport errors afterwards. Close is
+// idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	all := make([]*conn, 0, len(c.conns))
+	for cn := range c.conns {
+		all = append(all, cn)
+	}
+	c.conns = make(map[*conn]struct{})
+	c.free = nil
+	c.mu.Unlock()
+	for _, cn := range all {
+		cn.nc.Close()
+	}
+	return nil
+}
+
+// untrack forgets a connection that is being closed.
+func (c *Client) untrack(cn *conn) {
+	c.mu.Lock()
+	delete(c.conns, cn)
+	c.mu.Unlock()
+}
+
+// get pops a pooled connection or dials a fresh one.
+func (c *Client) get() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	if n := len(c.free); n > 0 {
+		cn := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+// put returns a healthy connection to the pool (closing it when the pool
+// is full or the client closed).
+func (c *Client) put(cn *conn) {
+	c.mu.Lock()
+	if c.closed || len(c.free) >= c.opt.maxIdle {
+		c.mu.Unlock()
+		cn.close()
+		return
+	}
+	c.free = append(c.free, cn)
+	c.mu.Unlock()
+}
+
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opt.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cn := newConn(nc, c.opt.requestTimeout)
+	cn.cl = c
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return nil, errors.New("client: closed")
+	}
+	c.conns[cn] = struct{}{}
+	c.mu.Unlock()
+	return cn, nil
+}

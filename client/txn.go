@@ -1,0 +1,165 @@
+package client
+
+// The wire-level connection and the remote transaction handle.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"hdd"
+	"hdd/internal/cc"
+	"hdd/internal/wire"
+)
+
+// conn is one pooled wire connection: a TCP stream plus reused buffers.
+// Requests on a conn are strictly sequential (one round-trip at a time),
+// matching the server's one-goroutine-per-session model.
+type conn struct {
+	cl      *Client // owner, for live-connection tracking (nil in tests)
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+	rbuf    []byte
+	wbuf    []byte
+}
+
+func newConn(nc net.Conn, timeout time.Duration) *conn {
+	return &conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), timeout: timeout}
+}
+
+// roundTrip sends one request and decodes its response. Any transport or
+// protocol error poisons the conn; callers must close it rather than pool
+// it.
+func (cn *conn) roundTrip(req *wire.Request) (wire.Response, error) {
+	cn.nc.SetDeadline(time.Now().Add(cn.timeout))
+	cn.wbuf = wire.AppendRequest(cn.wbuf[:0], req)
+	if err := wire.WriteFrame(cn.bw, cn.wbuf); err != nil {
+		return wire.Response{}, fmt.Errorf("client: sending %v: %w", req.Op, err)
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return wire.Response{}, fmt.Errorf("client: sending %v: %w", req.Op, err)
+	}
+	payload, err := wire.ReadFrame(cn.br, cn.rbuf)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: awaiting %v response: %w", req.Op, err)
+	}
+	cn.rbuf = payload[:cap(payload)]
+	resp, err := wire.DecodeResponse(req.Op, payload)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: %w", err)
+	}
+	return resp, nil
+}
+
+func (cn *conn) close() {
+	if cn.cl != nil {
+		cn.cl.untrack(cn)
+	}
+	cn.nc.Close()
+}
+
+// Txn is a transaction open on the server, pinned to one connection. It
+// implements hdd.Txn with the embedded API's semantics: abort errors
+// satisfy hdd.IsAbort, operations after Commit/Abort fail, and the value
+// returned by Read is owned by the caller.
+//
+// Like embedded transactions, a Txn is not safe for concurrent use.
+type Txn struct {
+	cl    *Client
+	cn    *conn
+	id    uint64
+	class hdd.ClassID
+	done  bool
+}
+
+var _ hdd.Txn = (*Txn)(nil)
+
+// ID returns the server-issued transaction id (its initiation instant on
+// the server's logical clock).
+func (t *Txn) ID() hdd.Time { return hdd.Time(t.id) }
+
+// Class returns the transaction's update class, or hdd.NoClass when
+// read-only.
+func (t *Txn) Class() hdd.ClassID { return t.class }
+
+// Read returns the value of g visible to this transaction, or (nil, nil)
+// if the granule does not exist at the visible instant.
+func (t *Txn) Read(g hdd.GranuleID) ([]byte, error) {
+	if t.done {
+		return nil, cc.ErrTxnDone
+	}
+	resp, err := t.op(&wire.Request{Op: wire.OpRead, Txn: t.id,
+		Seg: int32(g.Segment), Key: g.Key})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, nil
+	}
+	if resp.Value == nil {
+		return []byte{}, nil
+	}
+	return resp.Value, nil
+}
+
+// Write installs a new value for g in the transaction. The client copies
+// value into the request frame; the caller may reuse the slice.
+func (t *Txn) Write(g hdd.GranuleID, value []byte) error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	if len(value) > wire.MaxValue {
+		return fmt.Errorf("client: value of %d bytes exceeds MaxValue (%d)", len(value), wire.MaxValue)
+	}
+	_, err := t.op(&wire.Request{Op: wire.OpWrite, Txn: t.id,
+		Seg: int32(g.Segment), Key: g.Key, Value: value})
+	return err
+}
+
+// Commit commits the transaction on the server and releases the pinned
+// connection back to the pool.
+func (t *Txn) Commit() error { return t.finish(wire.OpCommit) }
+
+// Abort aborts the transaction on the server and releases the pinned
+// connection. Aborting a finished transaction is a no-op, as with the
+// embedded engine.
+func (t *Txn) Abort() error {
+	if t.done {
+		return nil
+	}
+	return t.finish(wire.OpAbort)
+}
+
+// op runs one mid-transaction round-trip. A transport failure kills the
+// pinned connection and finishes the transaction locally: the server's
+// session teardown force-aborts the remote side.
+func (t *Txn) op(req *wire.Request) (wire.Response, error) {
+	resp, err := t.cn.roundTrip(req)
+	if err != nil {
+		t.done = true
+		t.cn.close()
+		return wire.Response{}, err
+	}
+	return resp, resp.Err()
+}
+
+// finish sends Commit or Abort, after which the transaction is done and
+// its connection is pooled again whatever the engine answered (the session
+// keeps the connection healthy across engine-level errors; only transport
+// errors poison it).
+func (t *Txn) finish(op wire.Op) error {
+	if t.done {
+		return cc.ErrTxnDone
+	}
+	resp, err := t.cn.roundTrip(&wire.Request{Op: op, Txn: t.id})
+	t.done = true
+	if err != nil {
+		t.cn.close()
+		return err
+	}
+	t.cl.put(t.cn)
+	return resp.Err()
+}

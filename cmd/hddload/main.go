@@ -1,0 +1,218 @@
+// Command hddload is a closed-loop load generator for hddserver: N client
+// goroutines, each with its own pooled connection set, drive a mixed
+// update / read-only workload through the public client package and the
+// unchanged hdd.RunCtx retry loop, then verify the server drained cleanly
+// (no leaked sessions or transactions).
+//
+// Usage:
+//
+//	hddload -addr 127.0.0.1:7070 -clients 8 -txns 200 -readonly-frac 0.25
+//
+// Latency is reported per workload class via internal/metrics.Histogram.
+// Stdout carries `go test -bench`-style result lines so the run can be
+// piped through cmd/benchjson into BENCH_net.json:
+//
+//	hddload -addr ... | benchjson -out BENCH_net.json
+//
+// Everything human-readable goes to stderr. Exit status is non-zero on
+// client errors or a failed drain check.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdd"
+	"hdd/client"
+	"hdd/internal/metrics"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "hddserver address")
+		clients   = flag.Int("clients", 8, "concurrent client goroutines")
+		txns      = flag.Int("txns", 200, "transactions per client")
+		classes   = flag.Int("classes", 3, "update classes to spread writes over (must be <= server's -classes)")
+		roFrac    = flag.Float64("readonly-frac", 0.25, "fraction of transactions that are read-only")
+		keys      = flag.Uint64("keys", 256, "keys per segment")
+		valSize   = flag.Int("value", 64, "value size in bytes")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		skipDrain = flag.Bool("skip-drain-check", false, "do not verify zero leaked sessions at the end")
+	)
+	flag.Parse()
+	if *clients < 1 || *txns < 1 || *classes < 1 {
+		fatal(fmt.Errorf("-clients, -txns and -classes must be >= 1"))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var (
+		updateLat, roLat metrics.Histogram
+		attempts         atomic.Int64 // fn invocations, including retries
+		committed        atomic.Int64
+		roDone           atomic.Int64
+		failures         atomic.Int64
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c, err := client.Dial(*addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hddload: worker %d: %v\n", worker, err)
+				failures.Add(1)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			val := make([]byte, *valSize)
+			for i := 0; i < *txns; i++ {
+				if ctx.Err() != nil {
+					failures.Add(1)
+					return
+				}
+				readOnly := rng.Float64() < *roFrac
+				cls := hdd.ClassID(rng.Intn(*classes))
+				key := rng.Uint64() % *keys
+				fillValue(val, worker, i)
+				t0 := time.Now()
+				var err error
+				if readOnly {
+					err = hdd.RunCtx(ctx, c, hdd.NoClass, func(t hdd.Txn) error {
+						attempts.Add(1)
+						// Protocol C: wall-bounded reads across two segments.
+						if _, err := t.Read(hdd.GranuleID{Segment: 0, Key: key}); err != nil {
+							return err
+						}
+						if *classes > 1 {
+							if _, err := t.Read(hdd.GranuleID{Segment: 1, Key: key}); err != nil {
+								return err
+							}
+						}
+						return nil
+					}, hdd.RetryPolicy{})
+				} else {
+					err = hdd.RunCtx(ctx, c, cls, func(t hdd.Txn) error {
+						attempts.Add(1)
+						// Protocol A read below the root (when one exists),
+						// then a Protocol B write in the root segment.
+						if cls > 0 {
+							if _, err := t.Read(hdd.GranuleID{Segment: hdd.SegmentID(cls - 1), Key: key}); err != nil {
+								return err
+							}
+						}
+						return t.Write(hdd.GranuleID{Segment: hdd.SegmentID(cls), Key: key}, val)
+					}, hdd.RetryPolicy{})
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hddload: worker %d txn %d: %v\n", worker, i, err)
+					failures.Add(1)
+					return
+				}
+				if readOnly {
+					roLat.Observe(time.Since(t0))
+					roDone.Add(1)
+				} else {
+					updateLat.Observe(time.Since(t0))
+					committed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := failures.Load() == 0
+	total := committed.Load() + roDone.Load()
+	retried := attempts.Load() - total
+
+	// Bench-format result lines on stdout, for cmd/benchjson.
+	emit := func(name string, h *metrics.Histogram) {
+		if h.Count() > 0 {
+			fmt.Printf("BenchmarkNet%s-%d\t%d\t%.1f ns/op\n", name, *clients, h.Count(), float64(h.Mean()))
+		}
+	}
+	emit("Update", &updateLat)
+	emit("ReadOnly", &roLat)
+	if total > 0 {
+		fmt.Printf("BenchmarkNetTxn-%d\t%d\t%.1f ns/op\n", *clients, total,
+			float64(elapsed.Nanoseconds())*float64(*clients)/float64(total))
+	}
+
+	tbl := metrics.NewTable(fmt.Sprintf("hddload: %d clients x %d txns against %s (%.2fs, %.0f txn/s)",
+		*clients, *txns, *addr, elapsed.Seconds(), float64(total)/elapsed.Seconds()),
+		"workload", "count", "mean", "p50", "p99", "max")
+	row := func(name string, h *metrics.Histogram) {
+		tbl.AddRow(name, h.Count(), h.Mean().String(), h.Quantile(0.5).String(),
+			h.Quantile(0.99).String(), h.Max().String())
+	}
+	row("update", &updateLat)
+	row("read-only", &roLat)
+	fmt.Fprint(os.Stderr, tbl.String())
+	fmt.Fprintf(os.Stderr, "hddload: %d committed, %d read-only, %d aborts retried by hdd.RunCtx\n",
+		committed.Load(), roDone.Load(), retried)
+
+	if !*skipDrain {
+		if err := checkDrain(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "hddload: drain check FAILED: %v\n", err)
+			ok = false
+		} else {
+			fmt.Fprintln(os.Stderr, "hddload: drain check ok — zero leaked sessions/transactions")
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkDrain verifies the server leaked nothing once every load client
+// closed: no open transactions server-side, no in-flight engine
+// transactions, and no sessions besides the one asking.
+func checkDrain(addr string) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	// The load clients' sessions unwind asynchronously after Close; give
+	// the server a moment before declaring a leak.
+	var stats map[string]int64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err = c.Stats()
+		if err != nil {
+			return err
+		}
+		if stats["txns_open"] == 0 && stats["active_txns"] == 0 && stats["sessions_open"] <= 1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("txns_open=%d active_txns=%d sessions_open=%d (want 0/0/<=1)",
+				stats["txns_open"], stats["active_txns"], stats["sessions_open"])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// fillValue stamps a worker/iteration-distinguishable payload.
+func fillValue(v []byte, worker, i int) {
+	for j := range v {
+		v[j] = byte(worker*31 + i + j)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hddload: %v\n", err)
+	os.Exit(1)
+}

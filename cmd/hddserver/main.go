@@ -1,0 +1,137 @@
+// Command hddserver serves an HDD engine over TCP using the
+// internal/wire protocol.
+//
+// Usage:
+//
+//	hddserver -addr 127.0.0.1:7070 -classes 3 -txn-timeout 5s
+//
+// The engine runs over a k-class chain partition (class i writes segment i
+// and may read every lower segment — the deepest TST-legal hierarchy, so
+// all three protocols are exercised). -addr-file writes the actual listen
+// address to a file once the listener is up, which lets scripts use
+// -addr 127.0.0.1:0 and discover the kernel-assigned port race-free.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new transactions are
+// refused, in-flight sessions get -drain-timeout to finish, stragglers are
+// force-aborted, and the engine is closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdd/internal/core"
+	"hdd/internal/schema"
+	"hdd/internal/server"
+	"hdd/internal/vclock"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the actual listen address here once listening")
+		classes      = flag.Int("classes", 3, "number of classes/segments in the chain partition")
+		txnTimeout   = flag.Duration("txn-timeout", 5*time.Second, "engine transaction deadline (reaper force-aborts past it); 0 disables")
+		wallInterval = flag.Int64("wall-interval", 256, "time-wall release interval in logical ticks")
+		gcEvery      = flag.Int64("gc-every", 64, "run GC every N commits; 0 disables")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle for this long; 0 disables")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before force-closing sessions")
+		quiet        = flag.Bool("quiet", false, "suppress connection-level diagnostics")
+	)
+	flag.Parse()
+
+	part, err := chainPartition(*classes)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := core.NewEngine(core.Config{
+		Partition:      part,
+		WallInterval:   vclock.Time(*wallInterval),
+		GCEveryCommits: *gcEvery,
+		TxnTimeout:     *txnTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := server.Options{IdleTimeout: *idleTimeout}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv := server.New(eng, opts)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hddserver: listening on %s (%d classes, txn-timeout %v)\n",
+		l.Addr(), *classes, *txnTimeout)
+	if *addrFile != "" {
+		// Write-then-rename so readers polling the file never observe a
+		// partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "hddserver: %v — draining (budget %v)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hddserver: drain deadline hit, sessions force-closed (%v)\n", err)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "hddserver: done — %d commits, %d aborts (%d reaped), %d sessions open\n",
+			st.Commits, st.Aborts, st.ReapedTxns, srv.OpenSessions())
+	}
+}
+
+// chainPartition builds the k-class chain: class i writes segment i and
+// may read segments 0..i-1. The induced DHG is a total order, trivially a
+// transitive semi-tree.
+func chainPartition(k int) (*schema.Partition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hddserver: -classes must be >= 1, got %d", k)
+	}
+	names := make([]string, k)
+	specs := make([]schema.ClassSpec, k)
+	for i := 0; i < k; i++ {
+		names[i] = fmt.Sprintf("seg%d", i)
+		var reads []schema.SegmentID
+		for j := 0; j < i; j++ {
+			reads = append(reads, schema.SegmentID(j))
+		}
+		specs[i] = schema.ClassSpec{Name: fmt.Sprintf("class%d", i),
+			Writes: schema.SegmentID(i), Reads: reads}
+	}
+	return schema.NewPartition(names, specs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hddserver: %v\n", err)
+	os.Exit(1)
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"hdd/internal/cc"
 )
 
 // Stuck-transaction reaping.
@@ -38,6 +40,24 @@ type liveTxn interface {
 // ActiveTxns reports the number of in-flight transactions (update,
 // read-only, and ad-hoc), for tests and monitoring.
 func (e *Engine) ActiveTxns() int { return e.live.count() }
+
+// ForceAbort force-aborts the in-flight transaction with the given id,
+// exactly as the background reaper would: its pending versions,
+// activity-table entry, admission-gate holds, and wall-floor acquisitions
+// are released, the kill is counted in Stats().ReapedTxns, and any
+// straggling operation on the transaction observes a cc.AbortError with
+// cc.ReasonTimedOut. It reports whether this call performed the abort
+// (false when no such transaction is in flight, or it finished — or was
+// reaped — concurrently).
+//
+// The network server (internal/server) uses it to clean up transactions
+// orphaned by a client disconnect without waiting for their deadline.
+func (e *Engine) ForceAbort(id cc.TxnID) bool {
+	if t := e.live.lookup(id); t != nil {
+		return t.reap()
+	}
+	return false
+}
 
 // reaper is the background loop started by NewEngine when deadlines are
 // enabled. It exits when the engine closes.

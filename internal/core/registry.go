@@ -54,6 +54,15 @@ func (r *liveRegistry) register(id cc.TxnID, t liveTxn) {
 	s.mu.Unlock()
 }
 
+// lookup returns the in-flight transaction with the given id, or nil.
+func (r *liveRegistry) lookup(id cc.TxnID) liveTxn {
+	s := r.stripe(id)
+	s.mu.Lock()
+	t := s.txns[id]
+	s.mu.Unlock()
+	return t
+}
+
 // unregister removes a finished transaction.
 func (r *liveRegistry) unregister(id cc.TxnID) {
 	s := r.stripe(id)

@@ -1,0 +1,314 @@
+// Package server exposes an HDD engine over a network: a net.Listener
+// based concurrent server speaking the internal/wire protocol, with one
+// session per connection, orphaned-transaction cleanup on disconnect, and
+// graceful shutdown that drains sessions before closing the engine.
+//
+// # Session model
+//
+// A connection is a session. Requests on a session are processed in order
+// by a dedicated goroutine, and the transactions it begins are addressable
+// only by that session — there is no cross-connection transaction handoff.
+// A session may interleave several open transactions (the pooled client
+// keeps it to one per connection, but the protocol does not require that).
+//
+// # Orphaned transactions
+//
+// A client that disconnects — crash, kill -9, network partition closing
+// the socket — with transactions still open would otherwise stall time
+// walls and GC until the engine's reaper deadline fires. The session's
+// teardown instead force-aborts every open transaction immediately via
+// Engine.ForceAbort, which reuses the reaper's semantics: held versions,
+// gates and wall floors are released and the kill is counted in
+// Stats().ReapedTxns.
+//
+// # Shutdown ordering
+//
+// Shutdown runs in three phases, strictly before Engine.Close so no
+// session ever races a closing engine: (1) stop accepting and reject new
+// Begin requests with StatusEngineClosed; (2) drain — sessions whose
+// transactions are all finished are closed, sessions with open
+// transactions keep serving so in-flight work can commit, until the
+// context expires, at which point the stragglers are force-closed (their
+// transactions force-aborted); (3) Engine.Close.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdd/internal/core"
+	"hdd/internal/metrics"
+	"hdd/internal/wire"
+)
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// IdleTimeout closes a session that sends no request for this long,
+	// bounding how long a silent-but-connected client can hold a session.
+	// 0 means no idle limit (orphan cleanup then relies on the engine
+	// reaper after TCP teardown, or on Shutdown).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Defaults to 10s.
+	WriteTimeout time.Duration
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Server serves an HDD engine over the wire protocol. Create with New,
+// start with Serve (one or more listeners), stop with Shutdown or Close.
+type Server struct {
+	eng  *core.Engine
+	opts Options
+
+	// commitLat and readLat are the request-level latency histograms
+	// exposed through the Stats wire request (engine-side work only, no
+	// network time).
+	commitLat metrics.Histogram
+	readLat   metrics.Histogram
+
+	connsAccepted atomic.Int64
+	txnsOpen      atomic.Int64
+	forceAborts   atomic.Int64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	draining  bool
+
+	drained chan struct{} // closed when draining begins, for session selects
+	wg      sync.WaitGroup
+
+	closeEngineOnce sync.Once
+}
+
+// New builds a server over an open engine. The server assumes ownership of
+// the engine's shutdown: Shutdown/Close call Engine.Close after draining.
+func New(eng *core.Engine, opts Options) *Server {
+	return &Server{
+		eng:       eng,
+		opts:      opts.withDefaults(),
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+		drained:   make(chan struct{}),
+	}
+}
+
+// Engine returns the served engine.
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown
+// or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// shuts down, spawning one session goroutine per connection. It returns
+// nil on shutdown. Serve may be called on several listeners concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("server: already shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.connsAccepted.Add(1)
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go sess.serve()
+	}
+}
+
+// isDraining reports whether Shutdown/Close has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listeners, rejects
+// new Begin requests with StatusEngineClosed, lets sessions with open
+// transactions keep serving until they finish or ctx expires (stragglers
+// are then force-closed and their transactions force-aborted), and finally
+// closes the engine. It returns ctx.Err() if the drain deadline forced any
+// session, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.forceCloseSessions()
+		<-done
+	}
+	s.closeEngineOnce.Do(func() { s.eng.Close() })
+	return err
+}
+
+// Close shuts down immediately: every session is force-closed (open
+// transactions force-aborted) and the engine closed. Prefer Shutdown.
+func (s *Server) Close() error {
+	s.beginDrain()
+	s.forceCloseSessions()
+	s.wg.Wait()
+	s.closeEngineOnce.Do(func() { s.eng.Close() })
+	return nil
+}
+
+// beginDrain flips the server into draining mode: listeners close, idle
+// sessions are interrupted so they notice the drain, and new transactions
+// are refused.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drained)
+		for l := range s.listeners {
+			l.Close()
+		}
+		for sess := range s.sessions {
+			sess.interrupt()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// forceCloseSessions tears down every remaining session; their teardown
+// force-aborts the transactions they still hold.
+func (s *Server) forceCloseSessions() {
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.forceClose()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// OpenSessions reports the number of live sessions, for tests and the
+// Stats wire request.
+func (s *Server) OpenSessions() int {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return n
+}
+
+// OpenTxns reports the number of transactions currently open across all
+// sessions.
+func (s *Server) OpenTxns() int64 { return s.txnsOpen.Load() }
+
+// ForcedAborts reports how many orphaned transactions session teardown has
+// force-aborted.
+func (s *Server) ForcedAborts() int64 { return s.forceAborts.Load() }
+
+// CommitLatency exposes the commit-path histogram (for the load generator
+// running in-process and for tests).
+func (s *Server) CommitLatency() *metrics.Histogram { return &s.commitLat }
+
+// statEntries snapshots the engine counters, the server's own gauges, and
+// the request-latency histograms as a flat name/value list for the Stats
+// wire response. Durations are nanoseconds.
+func (s *Server) statEntries() []wire.StatEntry {
+	es := s.eng.Stats()
+	entries := []wire.StatEntry{
+		{Name: "begins", Value: es.Begins},
+		{Name: "commits", Value: es.Commits},
+		{Name: "aborts", Value: es.Aborts},
+		{Name: "reads", Value: es.Reads},
+		{Name: "writes", Value: es.Writes},
+		{Name: "read_registrations", Value: es.ReadRegistrations},
+		{Name: "blocked_reads", Value: es.BlockedReads},
+		{Name: "blocked_writes", Value: es.BlockedWrites},
+		{Name: "rejected_reads", Value: es.RejectedReads},
+		{Name: "rejected_writes", Value: es.RejectedWrites},
+		{Name: "wall_waits", Value: es.WallWaits},
+		{Name: "reaped_txns", Value: es.ReapedTxns},
+		{Name: "timed_out_reads", Value: es.TimedOutReads},
+		{Name: "active_txns", Value: int64(s.eng.ActiveTxns())},
+		{Name: "conns_accepted", Value: s.connsAccepted.Load()},
+		{Name: "sessions_open", Value: int64(s.OpenSessions())},
+		{Name: "txns_open", Value: s.txnsOpen.Load()},
+		{Name: "force_aborts", Value: s.forceAborts.Load()},
+	}
+	entries = appendHistogram(entries, "commit", &s.commitLat)
+	entries = appendHistogram(entries, "read", &s.readLat)
+	return entries
+}
+
+// appendHistogram flattens one histogram into stat entries named
+// <prefix>_{count,mean_ns,p50_ns,p99_ns,max_ns}.
+func appendHistogram(entries []wire.StatEntry, prefix string, h *metrics.Histogram) []wire.StatEntry {
+	return append(entries,
+		wire.StatEntry{Name: prefix + "_count", Value: h.Count()},
+		wire.StatEntry{Name: prefix + "_mean_ns", Value: int64(h.Mean())},
+		wire.StatEntry{Name: prefix + "_p50_ns", Value: int64(h.Quantile(0.50))},
+		wire.StatEntry{Name: prefix + "_p99_ns", Value: int64(h.Quantile(0.99))},
+		wire.StatEntry{Name: prefix + "_max_ns", Value: int64(h.Max())},
+	)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,288 @@
+package server
+
+// One session per connection: a goroutine that reads request frames in
+// order, dispatches them against the engine, and writes one response frame
+// per request. The session owns the transactions it began; teardown — for
+// any reason: disconnect, protocol error, idle timeout, shutdown —
+// force-aborts whatever is still open so an abandoned client can never
+// wedge walls, GC, or ad-hoc admission gates.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/schema"
+	"hdd/internal/wire"
+)
+
+// drainPoll is how often a draining session with open transactions wakes
+// from a blocked frame read to re-check for force-close.
+const drainPoll = 50 * time.Millisecond
+
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// txns maps wire transaction ids to the session's open transactions.
+	// Only the session goroutine touches it.
+	txns map[uint64]cc.Txn
+
+	// forced is set by forceClose; the session goroutine observes it after
+	// its read is interrupted and exits instead of continuing the drain.
+	forced atomic.Bool
+
+	// closeOnce guards conn.Close so interrupt/forceClose (server
+	// goroutine) and teardown (session goroutine) compose.
+	closeOnce sync.Once
+
+	rbuf []byte // reused frame read buffer
+	wbuf []byte // reused response encode buffer
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:  s,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		txns: make(map[uint64]cc.Txn),
+	}
+}
+
+// interrupt wakes the session from a blocked frame read so it re-checks
+// drain state. Called with srv.mu held.
+func (s *session) interrupt() {
+	s.conn.SetReadDeadline(time.Now())
+}
+
+// forceClose marks the session for teardown and severs the connection;
+// the session goroutine then finishes via teardown, force-aborting its
+// open transactions. Called with srv.mu held.
+func (s *session) forceClose() {
+	s.forced.Store(true)
+	s.conn.SetReadDeadline(time.Now())
+}
+
+// serve is the session goroutine: one request frame in, one response frame
+// out, until the peer hangs up, errs, times out, or the server drains.
+func (s *session) serve() {
+	defer s.srv.wg.Done()
+	defer s.teardown()
+	for {
+		if s.forced.Load() {
+			return
+		}
+		if s.srv.isDraining() && len(s.txns) == 0 {
+			return
+		}
+		s.setReadDeadline()
+		payload, err := wire.ReadFrame(s.br, s.rbuf)
+		if err != nil {
+			if isTimeout(err) && s.srv.isDraining() && !s.forced.Load() && len(s.txns) > 0 {
+				// Draining with work in flight: keep waiting for the
+				// client to finish its transactions (forceClose breaks
+				// the loop when the drain deadline passes).
+				continue
+			}
+			if !errors.Is(err, net.ErrClosed) && !isTimeout(err) && !isEOF(err) {
+				s.srv.logf("server: %v: read: %v", s.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.rbuf = payload[:cap(payload)]
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Protocol error: answer once so the peer can log something
+			// meaningful, then drop the connection — framing may be lost.
+			s.writeResponse(0, &wire.Response{Status: wire.StatusError, Message: err.Error()})
+			s.srv.logf("server: %v: %v", s.conn.RemoteAddr(), err)
+			return
+		}
+		resp := s.handle(&req)
+		if err := s.writeResponse(req.Op, resp); err != nil {
+			return
+		}
+	}
+}
+
+// setReadDeadline arms the next frame read: the idle timeout normally, a
+// short poll while draining so force-close is observed promptly.
+func (s *session) setReadDeadline() {
+	switch {
+	case s.srv.isDraining():
+		s.conn.SetReadDeadline(time.Now().Add(drainPoll))
+	case s.srv.opts.IdleTimeout > 0:
+		s.conn.SetReadDeadline(time.Now().Add(s.srv.opts.IdleTimeout))
+	default:
+		s.conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// handle dispatches one decoded request. It never returns nil.
+func (s *session) handle(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpBegin:
+		if s.srv.isDraining() {
+			return errResponse(cc.ErrEngineClosed)
+		}
+		t, err := s.srv.eng.Begin(schema.ClassID(req.Class))
+		return s.beginResponse(t, err)
+
+	case wire.OpBeginReadOnly:
+		if s.srv.isDraining() {
+			return errResponse(cc.ErrEngineClosed)
+		}
+		t, err := s.srv.eng.BeginReadOnly()
+		return s.beginResponse(t, err)
+
+	case wire.OpBeginAdHocFor:
+		if s.srv.isDraining() {
+			return errResponse(cc.ErrEngineClosed)
+		}
+		reads := make([]schema.SegmentID, len(req.ReadSegs))
+		for i, r := range req.ReadSegs {
+			reads[i] = schema.SegmentID(r)
+		}
+		t, err := s.srv.eng.BeginAdHocFor(schema.SegmentID(req.WriteSeg), reads...)
+		return s.beginResponse(t, err)
+
+	case wire.OpRead:
+		t, ok := s.txns[req.Txn]
+		if !ok {
+			return unknownTxn(req.Txn)
+		}
+		start := time.Now()
+		val, err := t.Read(schema.GranuleID{Segment: schema.SegmentID(req.Seg), Key: req.Key})
+		s.srv.readLat.Observe(time.Since(start))
+		if err != nil {
+			return errResponse(err)
+		}
+		// The embedded API distinguishes a missing granule ((nil, nil))
+		// from an empty value; Found carries that bit across the wire.
+		return &wire.Response{Status: wire.StatusOK, Found: val != nil, Value: val}
+
+	case wire.OpWrite:
+		t, ok := s.txns[req.Txn]
+		if !ok {
+			return unknownTxn(req.Txn)
+		}
+		if len(req.Value) > wire.MaxValue {
+			return errResponse(fmt.Errorf("server: value of %d bytes exceeds MaxValue (%d)", len(req.Value), wire.MaxValue))
+		}
+		err := t.Write(schema.GranuleID{Segment: schema.SegmentID(req.Seg), Key: req.Key}, req.Value)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+
+	case wire.OpCommit:
+		t, ok := s.txns[req.Txn]
+		if !ok {
+			return unknownTxn(req.Txn)
+		}
+		start := time.Now()
+		err := t.Commit()
+		s.srv.commitLat.Observe(time.Since(start))
+		s.dropTxn(req.Txn)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+
+	case wire.OpAbort:
+		t, ok := s.txns[req.Txn]
+		if !ok {
+			return unknownTxn(req.Txn)
+		}
+		err := t.Abort()
+		s.dropTxn(req.Txn)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+
+	case wire.OpStats:
+		return &wire.Response{Status: wire.StatusOK, Stats: s.srv.statEntries()}
+	}
+	return &wire.Response{Status: wire.StatusError,
+		Message: fmt.Sprintf("server: unhandled opcode %v", req.Op)}
+}
+
+// beginResponse registers a freshly begun transaction with the session and
+// encodes the handle the client will use to address it.
+func (s *session) beginResponse(t cc.Txn, err error) *wire.Response {
+	if err != nil {
+		return errResponse(err)
+	}
+	id := uint64(t.ID())
+	s.txns[id] = t
+	s.srv.txnsOpen.Add(1)
+	return &wire.Response{Status: wire.StatusOK, Txn: id, Class: int32(t.Class())}
+}
+
+func (s *session) dropTxn(id uint64) {
+	if _, ok := s.txns[id]; ok {
+		delete(s.txns, id)
+		s.srv.txnsOpen.Add(-1)
+	}
+}
+
+// teardown ends the session: every still-open transaction is force-aborted
+// with reaper semantics (releasing held versions, gates, and wall floors
+// immediately rather than waiting for its deadline), the connection is
+// closed, and the session is deregistered.
+func (s *session) teardown() {
+	for id, t := range s.txns {
+		if s.srv.eng.ForceAbort(cc.TxnID(id)) {
+			s.srv.forceAborts.Add(1)
+		} else {
+			// Already finished (a racing reaper or engine close); Abort is
+			// a no-op on a finished transaction but tidies the non-reaped
+			// paths.
+			t.Abort()
+		}
+		s.dropTxn(id)
+	}
+	s.closeOnce.Do(func() { s.conn.Close() })
+	s.srv.removeSession(s)
+}
+
+// writeResponse encodes and writes one response frame under the write
+// deadline.
+func (s *session) writeResponse(op wire.Op, resp *wire.Response) error {
+	s.wbuf = wire.AppendResponse(s.wbuf[:0], op, resp)
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.opts.WriteTimeout))
+	if err := wire.WriteFrame(s.bw, s.wbuf); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// errResponse maps an engine error onto the wire status taxonomy.
+func errResponse(err error) *wire.Response {
+	st, reason, msg := wire.StatusOf(err)
+	return &wire.Response{Status: st, Reason: reason, Message: msg}
+}
+
+func unknownTxn(id uint64) *wire.Response {
+	return &wire.Response{Status: wire.StatusError,
+		Message: fmt.Sprintf("server: no open transaction %d on this connection", id)}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}

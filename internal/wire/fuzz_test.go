@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The fuzz targets pin the decoder's safety contract: for arbitrary input
+// — truncated frames, forged lengths, unknown opcodes/statuses — decoding
+// must return an error or a valid message, never panic, and never allocate
+// beyond the declared-length bounds. Run continuously with
+// `go test -fuzz=FuzzDecodeRequest ./internal/wire/`; the seed corpus
+// (f.Add plus testdata/fuzz) runs under plain `go test`.
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range []Request{
+		{Op: OpBegin, Class: 1},
+		{Op: OpBeginReadOnly},
+		{Op: OpBeginAdHocFor, WriteSeg: 2, ReadSegs: []int32{0, 1}},
+		{Op: OpRead, Txn: 7, Seg: 1, Key: 9},
+		{Op: OpWrite, Txn: 7, Seg: 1, Key: 9, Value: []byte("value")},
+		{Op: OpCommit, Txn: 7},
+		{Op: OpAbort, Txn: 7},
+		{Op: OpStats},
+	} {
+		req := req
+		f.Add(AppendRequest(nil, &req))
+	}
+	// Hostile shapes: truncations, unknown opcode, forged value length,
+	// forged ad-hoc read-set count, wrong version, trailing garbage.
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, 250})
+	f.Add([]byte{0, byte(OpBegin), 0, 0, 0, 1})
+	f.Add([]byte{Version, byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{Version, byte(OpBeginAdHocFor), 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Add(append(AppendRequest(nil, &Request{Op: OpCommit, Txn: 1}), 0))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		req, err := DecodeRequest(p)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the identical payload:
+		// the codec is canonical, so nothing decodable is unrepresentable.
+		if got := AppendRequest(nil, &req); !bytes.Equal(got, p) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", p, got)
+		}
+		// Decoded variable-length fields can never exceed what the payload
+		// itself could carry.
+		if len(req.Value) > len(p) || len(req.ReadSegs)*4 > len(p) {
+			t.Fatalf("decoded fields larger than payload: %d value bytes, %d read segs from %d payload bytes",
+				len(req.Value), len(req.ReadSegs), len(p))
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	ops := []Op{OpBegin, OpBeginReadOnly, OpBeginAdHocFor, OpRead, OpWrite, OpCommit, OpAbort, OpStats}
+	for _, c := range []struct {
+		op   Op
+		resp Response
+	}{
+		{OpBegin, Response{Status: StatusOK, Txn: 3, Class: 1}},
+		{OpRead, Response{Status: StatusOK, Found: true, Value: []byte("v")}},
+		{OpCommit, Response{Status: StatusAbort, Reason: "write-rejected", Message: "m"}},
+		{OpStats, Response{Status: StatusOK, Stats: []StatEntry{{Name: "commits", Value: 1}}}},
+		{OpWrite, Response{Status: StatusEngineClosed, Message: "closed"}},
+	} {
+		c := c
+		f.Add(byte(c.op), AppendResponse(nil, c.op, &c.resp))
+	}
+	f.Add(byte(OpStats), []byte{Version, byte(StatusOK), 0xFF, 0xFF})
+	f.Add(byte(OpRead), []byte{Version, byte(StatusOK), 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(byte(0), []byte{Version, byte(StatusOK)})
+	f.Fuzz(func(t *testing.T, opByte byte, p []byte) {
+		op := Op(opByte)
+		resp, err := DecodeResponse(op, p)
+		if err != nil {
+			return
+		}
+		validOp := false
+		for _, o := range ops {
+			if op == o {
+				validOp = true
+			}
+		}
+		if !validOp && resp.Status == StatusOK {
+			t.Fatalf("StatusOK decoded for unknown opcode %d", opByte)
+		}
+		if got := AppendResponse(nil, op, &resp); !bytes.Equal(got, p) {
+			t.Fatalf("re-encode mismatch for %v:\n in  %x\n out %x", op, p, got)
+		}
+		if len(resp.Value) > len(p) || len(resp.Stats)*10 > len(p) {
+			t.Fatalf("decoded fields larger than payload")
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	frame := func(p []byte) []byte {
+		var b bytes.Buffer
+		WriteFrame(&b, p)
+		return b.Bytes()
+	}
+	f.Add(frame([]byte("payload")))
+	f.Add(frame(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})          // 4 GiB declared
+	f.Add([]byte{0, 0x10, 0, 1})                   // MaxFrame+1 declared
+	f.Add([]byte{0, 0, 0, 100, 'a', 'b'})          // truncated payload
+	f.Add([]byte{0, 0})                            // truncated header
+	f.Add(append(frame([]byte("x")), 0, 0, 0, 99)) // second frame truncated
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		var buf []byte
+		for {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					len(payload) != 0 {
+					t.Fatalf("payload returned alongside error %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("payload of %d bytes exceeds MaxFrame", len(payload))
+			}
+			buf = payload[:cap(payload)]
+		}
+	})
+}

@@ -1,0 +1,541 @@
+// Package wire defines the binary protocol of the networked HDD service:
+// length-prefixed frames over a byte stream, a request/response pair per
+// engine operation, and the error-code mapping that preserves abort
+// semantics (cc.IsAbort, cc.ErrEngineClosed, cc.ErrTxnDone) across the
+// connection.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	uint32 big-endian payload length | payload
+//
+// A declared length above MaxFrame is a protocol error and is rejected
+// before any allocation, so a hostile or corrupt peer cannot make the
+// receiver over-allocate. The payload of a request is
+//
+//	byte version | byte opcode | opcode-specific fields
+//
+// and of a response
+//
+//	byte version | byte status | status-specific fields
+//
+// All integers are big-endian. Variable-length fields carry their own
+// length prefix: values a uint32, strings a uint16. Decoders are strict —
+// truncated fields, trailing bytes, unknown opcodes or statuses, and
+// version mismatches all return errors, never panic.
+//
+// # Transactions over the wire
+//
+// The server names an open transaction by its engine TxnID (the initiation
+// instant, unique per attempt) and scopes the name to the connection that
+// began it: Read/Write/Commit/Abort requests carry the id, and a
+// connection can only address transactions it opened. Dropping the
+// connection orphans its open transactions; the server force-aborts them
+// with reaper semantics (see internal/server).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdd/internal/cc"
+)
+
+// Version is the protocol version carried in every frame. A peer speaking
+// a different version is rejected at decode time.
+const Version = 1
+
+// MaxFrame is the largest payload a frame may declare or carry. It bounds
+// receiver allocation per frame.
+const MaxFrame = 1 << 20
+
+// MaxValue is the largest granule value a Write request may carry, leaving
+// headroom for the fixed request fields inside MaxFrame.
+const MaxValue = MaxFrame - 128
+
+// Op is a request opcode.
+type Op byte
+
+// Request opcodes, one per engine operation the service exposes.
+const (
+	OpBegin         Op = 1 // begin an update transaction of a class
+	OpBeginReadOnly Op = 2 // begin an ad-hoc read-only transaction (Protocol C)
+	OpBeginAdHocFor Op = 3 // begin a §7.1 ad-hoc update with a declared access set
+	OpRead          Op = 4 // read one granule in an open transaction
+	OpWrite         Op = 5 // write one granule in an open transaction
+	OpCommit        Op = 6 // commit an open transaction
+	OpAbort         Op = 7 // abort an open transaction
+	OpStats         Op = 8 // snapshot engine + server counters
+)
+
+// String renders an opcode for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpBegin:
+		return "Begin"
+	case OpBeginReadOnly:
+		return "BeginReadOnly"
+	case OpBeginAdHocFor:
+		return "BeginAdHocFor"
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpCommit:
+		return "Commit"
+	case OpAbort:
+		return "Abort"
+	case OpStats:
+		return "Stats"
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// Status is a response status code. Non-OK statuses map one-to-one onto
+// the engine's error taxonomy so the client can reconstruct errors that
+// behave identically to the embedded API's.
+type Status byte
+
+const (
+	// StatusOK carries the operation's result.
+	StatusOK Status = 0
+	// StatusAbort carries an engine abort (reason + message); the client
+	// surfaces it as a *cc.AbortError, so hdd.IsAbort holds.
+	StatusAbort Status = 1
+	// StatusEngineClosed reports the engine (or server) is shut down; the
+	// client surfaces cc.ErrEngineClosed.
+	StatusEngineClosed Status = 2
+	// StatusTxnDone reports an operation on a finished transaction; the
+	// client surfaces cc.ErrTxnDone.
+	StatusTxnDone Status = 3
+	// StatusError carries any other error as text.
+	StatusError Status = 4
+)
+
+// Request is the decoded form of one request frame. Fields beyond Op are
+// meaningful only for the opcodes that carry them.
+type Request struct {
+	Op Op
+
+	// Class is the update class for OpBegin.
+	Class int32
+	// WriteSeg and ReadSegs declare an OpBeginAdHocFor access set.
+	WriteSeg int32
+	ReadSegs []int32
+
+	// Txn addresses an open transaction (OpRead/OpWrite/OpCommit/OpAbort).
+	Txn uint64
+	// Seg and Key name the granule for OpRead/OpWrite.
+	Seg int32
+	Key uint64
+	// Value is the payload for OpWrite.
+	Value []byte
+}
+
+// Response is the decoded form of one response frame. Result fields are
+// meaningful only under StatusOK, and only for the operation that was
+// requested; Reason and Message carry error detail for the other statuses.
+type Response struct {
+	Status Status
+
+	// Txn and Class answer the Begin* family.
+	Txn   uint64
+	Class int32
+
+	// Found and Value answer OpRead. Found=false with an empty Value is a
+	// read of a granule that does not exist at the visible instant.
+	Found bool
+	Value []byte
+
+	// Stats answers OpStats.
+	Stats []StatEntry
+
+	// Reason is the abort reason for StatusAbort (cc.AbortReason).
+	Reason string
+	// Message is the error text for every non-OK status.
+	Message string
+}
+
+// StatEntry is one named counter in a Stats response. Entries are a flat
+// name/value list so the server can add metrics without a protocol bump.
+type StatEntry struct {
+	Name  string
+	Value int64
+}
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame (%d)", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf when it is large enough, and
+// returns the payload. The declared length is validated against MaxFrame
+// before anything is allocated. A clean EOF before the header is returned
+// as io.EOF (end of session); a truncated header or payload is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame declares %d bytes, exceeding MaxFrame (%d)", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendRequest appends req's encoded payload to buf (usually buf[:0] of a
+// reused buffer) and returns the extended slice.
+func AppendRequest(buf []byte, req *Request) []byte {
+	e := encoder{buf: buf}
+	e.u8(Version)
+	e.u8(byte(req.Op))
+	switch req.Op {
+	case OpBegin:
+		e.i32(req.Class)
+	case OpBeginReadOnly, OpStats:
+		// no operands
+	case OpBeginAdHocFor:
+		e.i32(req.WriteSeg)
+		e.u16(uint16(len(req.ReadSegs)))
+		for _, s := range req.ReadSegs {
+			e.i32(s)
+		}
+	case OpRead:
+		e.u64(req.Txn)
+		e.i32(req.Seg)
+		e.u64(req.Key)
+	case OpWrite:
+		e.u64(req.Txn)
+		e.i32(req.Seg)
+		e.u64(req.Key)
+		e.bytes(req.Value)
+	case OpCommit, OpAbort:
+		e.u64(req.Txn)
+	}
+	return e.buf
+}
+
+// DecodeRequest decodes one request payload. It is strict: version
+// mismatches, unknown opcodes, truncated fields, oversized counts, and
+// trailing bytes are all errors.
+func DecodeRequest(p []byte) (Request, error) {
+	d := decoder{b: p}
+	if err := d.version(); err != nil {
+		return Request{}, err
+	}
+	var req Request
+	req.Op = Op(d.u8())
+	switch req.Op {
+	case OpBegin:
+		req.Class = d.i32()
+	case OpBeginReadOnly, OpStats:
+		// no operands
+	case OpBeginAdHocFor:
+		req.WriteSeg = d.i32()
+		n := int(d.u16())
+		if d.err == nil && n*4 > len(d.b) {
+			return Request{}, fmt.Errorf("wire: ad-hoc read set declares %d segments, only %d bytes remain", n, len(d.b))
+		}
+		if d.err == nil && n > 0 {
+			req.ReadSegs = make([]int32, n)
+			for i := range req.ReadSegs {
+				req.ReadSegs[i] = d.i32()
+			}
+		}
+	case OpRead:
+		req.Txn = d.u64()
+		req.Seg = d.i32()
+		req.Key = d.u64()
+	case OpWrite:
+		req.Txn = d.u64()
+		req.Seg = d.i32()
+		req.Key = d.u64()
+		req.Value = d.bytes()
+	case OpCommit, OpAbort:
+		req.Txn = d.u64()
+	default:
+		return Request{}, fmt.Errorf("wire: unknown opcode %d", byte(req.Op))
+	}
+	if err := d.finish(); err != nil {
+		return Request{}, fmt.Errorf("wire: decoding %v request: %w", req.Op, err)
+	}
+	return req, nil
+}
+
+// AppendResponse appends resp's encoded payload to buf and returns the
+// extended slice. op selects which result fields a StatusOK response
+// carries.
+func AppendResponse(buf []byte, op Op, resp *Response) []byte {
+	e := encoder{buf: buf}
+	e.u8(Version)
+	e.u8(byte(resp.Status))
+	if resp.Status != StatusOK {
+		e.str(resp.Reason)
+		e.str(resp.Message)
+		return e.buf
+	}
+	switch op {
+	case OpBegin, OpBeginReadOnly, OpBeginAdHocFor:
+		e.u64(resp.Txn)
+		e.i32(resp.Class)
+	case OpRead:
+		if resp.Found {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.bytes(resp.Value)
+	case OpWrite, OpCommit, OpAbort:
+		// no result payload
+	case OpStats:
+		e.u16(uint16(len(resp.Stats)))
+		for _, s := range resp.Stats {
+			e.str(s.Name)
+			e.u64(uint64(s.Value))
+		}
+	}
+	return e.buf
+}
+
+// DecodeResponse decodes one response payload for a request of the given
+// opcode, with the same strictness as DecodeRequest.
+func DecodeResponse(op Op, p []byte) (Response, error) {
+	d := decoder{b: p}
+	if err := d.version(); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	resp.Status = Status(d.u8())
+	switch resp.Status {
+	case StatusOK:
+		switch op {
+		case OpBegin, OpBeginReadOnly, OpBeginAdHocFor:
+			resp.Txn = d.u64()
+			resp.Class = d.i32()
+		case OpRead:
+			switch b := d.u8(); {
+			case d.err != nil:
+			case b > 1:
+				return Response{}, fmt.Errorf("wire: found flag must be 0 or 1, got %d", b)
+			default:
+				resp.Found = b == 1
+			}
+			resp.Value = d.bytes()
+		case OpWrite, OpCommit, OpAbort:
+			// no result payload
+		case OpStats:
+			n := int(d.u16())
+			// Each entry is at least a 2-byte name prefix + 8-byte value.
+			if d.err == nil && n*10 > len(d.b) {
+				return Response{}, fmt.Errorf("wire: stats declare %d entries, only %d bytes remain", n, len(d.b))
+			}
+			if d.err == nil && n > 0 {
+				resp.Stats = make([]StatEntry, n)
+				for i := range resp.Stats {
+					resp.Stats[i].Name = d.str()
+					resp.Stats[i].Value = int64(d.u64())
+				}
+			}
+		default:
+			return Response{}, fmt.Errorf("wire: unknown opcode %d for response", byte(op))
+		}
+	case StatusAbort, StatusEngineClosed, StatusTxnDone, StatusError:
+		resp.Reason = d.str()
+		resp.Message = d.str()
+	default:
+		return Response{}, fmt.Errorf("wire: unknown status %d", byte(resp.Status))
+	}
+	if err := d.finish(); err != nil {
+		return Response{}, fmt.Errorf("wire: decoding %v response: %w", op, err)
+	}
+	return resp, nil
+}
+
+// StatusOf classifies an engine error for the wire: the status code plus
+// the reason/message detail the response should carry.
+func StatusOf(err error) (st Status, reason, msg string) {
+	switch {
+	case err == nil:
+		return StatusOK, "", ""
+	case errors.Is(err, cc.ErrEngineClosed):
+		return StatusEngineClosed, "", err.Error()
+	case cc.IsAbort(err):
+		return StatusAbort, cc.AbortReason(err), err.Error()
+	case errors.Is(err, cc.ErrTxnDone):
+		return StatusTxnDone, "", err.Error()
+	default:
+		return StatusError, "", err.Error()
+	}
+}
+
+// Err reconstructs the client-side error for a non-OK response, preserving
+// the embedded API's semantics: StatusAbort becomes a *cc.AbortError (so
+// hdd.IsAbort reports true and retry loops fire), StatusEngineClosed
+// becomes cc.ErrEngineClosed, and StatusTxnDone wraps cc.ErrTxnDone.
+func (r *Response) Err() error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusAbort:
+		return &cc.AbortError{Reason: r.Reason, Err: errors.New(r.Message)}
+	case StatusEngineClosed:
+		return cc.ErrEngineClosed
+	case StatusTxnDone:
+		return fmt.Errorf("%s: %w", "hdd server", cc.ErrTxnDone)
+	default:
+		return fmt.Errorf("hdd server: %s", r.Message)
+	}
+}
+
+// encoder appends big-endian fields to a buffer.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v byte)    { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i32(v int32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v)) }
+
+func (e *encoder) bytes(v []byte) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+func (e *encoder) str(v string) {
+	if len(v) > 1<<16-1 {
+		v = v[:1<<16-1]
+	}
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// decoder consumes big-endian fields with a latched error; every accessor
+// is a no-op returning zero once an error is set, so decode paths read
+// straight through and check once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+var errTruncated = errors.New("truncated payload")
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = errTruncated
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *decoder) u16() uint16 {
+	if b := d.take(2); b != nil {
+		return binary.BigEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (d *decoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.BigEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *decoder) i32() int32 {
+	if b := d.take(4); b != nil {
+		return int32(binary.BigEndian.Uint32(b))
+	}
+	return 0
+}
+
+// bytes reads a uint32-prefixed byte field into a fresh copy (frames reuse
+// their read buffer, so aliasing it would let the next frame clobber the
+// value). The length is bounded by the remaining payload before any
+// allocation.
+func (d *decoder) bytes() []byte {
+	n := d.u32len()
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// u32len reads a uint32 length prefix, validating it against the bytes
+// actually remaining so a forged prefix cannot trigger a huge allocation.
+func (d *decoder) u32len() int {
+	if b := d.take(4); b != nil {
+		n := binary.BigEndian.Uint32(b)
+		if uint64(n) > uint64(len(d.b)) {
+			d.err = fmt.Errorf("field declares %d bytes, only %d remain", n, len(d.b))
+			return 0
+		}
+		return int(n)
+	}
+	return 0
+}
+
+func (d *decoder) version() error {
+	if v := d.u8(); d.err == nil && v != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
+	return d.err
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%d trailing bytes", len(d.b))
+	}
+	return nil
+}

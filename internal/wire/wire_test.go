@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hdd/internal/cc"
+)
+
+// requestCases covers every opcode with representative operands.
+func requestCases() []Request {
+	return []Request{
+		{Op: OpBegin, Class: 2},
+		{Op: OpBeginReadOnly},
+		{Op: OpBeginAdHocFor, WriteSeg: 1, ReadSegs: []int32{0, 2}},
+		{Op: OpBeginAdHocFor, WriteSeg: 0},
+		{Op: OpRead, Txn: 42, Seg: 1, Key: 7},
+		{Op: OpWrite, Txn: 42, Seg: 1, Key: 7, Value: []byte("hello")},
+		{Op: OpWrite, Txn: 42, Seg: 0, Key: 0, Value: []byte{}},
+		{Op: OpCommit, Txn: 42},
+		{Op: OpAbort, Txn: 99},
+		{Op: OpStats},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range requestCases() {
+		req := req
+		t.Run(req.Op.String(), func(t *testing.T) {
+			p := AppendRequest(nil, &req)
+			got, err := DecodeRequest(p)
+			if err != nil {
+				t.Fatalf("DecodeRequest: %v", err)
+			}
+			// Empty and nil byte slices are wire-equivalent.
+			if len(got.Value) == 0 {
+				got.Value = nil
+			}
+			want := req
+			if len(want.Value) == 0 {
+				want.Value = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   Op
+		resp Response
+	}{
+		{OpBegin, Response{Status: StatusOK, Txn: 17, Class: 2}},
+		{OpBeginReadOnly, Response{Status: StatusOK, Txn: 18, Class: -1}},
+		{OpRead, Response{Status: StatusOK, Found: true, Value: []byte("v")}},
+		{OpRead, Response{Status: StatusOK, Found: false}},
+		{OpWrite, Response{Status: StatusOK}},
+		{OpCommit, Response{Status: StatusAbort, Reason: "write-rejected", Message: "too late"}},
+		{OpCommit, Response{Status: StatusEngineClosed, Message: "closed"}},
+		{OpRead, Response{Status: StatusTxnDone, Message: "done"}},
+		{OpBegin, Response{Status: StatusError, Message: "unknown class 9"}},
+		{OpStats, Response{Status: StatusOK, Stats: []StatEntry{
+			{Name: "commits", Value: 12}, {Name: "aborts", Value: -3}}}},
+		{OpStats, Response{Status: StatusOK}},
+	}
+	for i, c := range cases {
+		p := AppendResponse(nil, c.op, &c.resp)
+		got, err := DecodeResponse(c.op, p)
+		if err != nil {
+			t.Fatalf("case %d (%v): DecodeResponse: %v", i, c.op, err)
+		}
+		if len(got.Value) == 0 {
+			got.Value = nil
+		}
+		want := c.resp
+		if len(want.Value) == 0 {
+			want.Value = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d (%v):\n got %+v\nwant %+v", i, c.op, got, want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reuse []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, reuse)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+		reuse = got[:cap(got)]
+	}
+	if _, err := ReadFrame(&buf, reuse); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	// Header declares 100 bytes; only 3 follow.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("abc")
+	if _, err := ReadFrame(&buf, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Truncated header.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"empty", nil},
+		{"bad version", []byte{99, byte(OpBegin), 0, 0, 0, 1}},
+		{"unknown opcode", []byte{Version, 200}},
+		{"truncated begin", []byte{Version, byte(OpBegin), 0}},
+		{"trailing bytes", append(AppendRequest(nil, &Request{Op: OpCommit, Txn: 1}), 0xFF)},
+		{"forged value length", []byte{Version, byte(OpWrite),
+			0, 0, 0, 0, 0, 0, 0, 1, // txn
+			0, 0, 0, 0, // seg
+			0, 0, 0, 0, 0, 0, 0, 2, // key
+			0xFF, 0xFF, 0xFF, 0xFF, // value length 4 GiB, nothing follows
+		}},
+		{"forged adhoc count", []byte{Version, byte(OpBeginAdHocFor),
+			0, 0, 0, 1, // writeSeg
+			0xFF, 0xFF, // 65535 read segments, nothing follows
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeRequest(c.p); err == nil {
+				t.Fatalf("DecodeRequest(%x) succeeded, want error", c.p)
+			}
+		})
+	}
+}
+
+func TestDecodeResponseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		p    []byte
+	}{
+		{"empty", OpBegin, nil},
+		{"unknown status", OpBegin, []byte{Version, 250}},
+		{"truncated stats", OpStats, []byte{Version, byte(StatusOK), 0, 3}},
+		{"trailing bytes", OpCommit, append(AppendResponse(nil, OpCommit, &Response{Status: StatusOK}), 1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeResponse(c.op, c.p); err == nil {
+				t.Fatalf("DecodeResponse(%x) succeeded, want error", c.p)
+			}
+		})
+	}
+}
+
+// TestErrorMappingRoundTrip is the satellite requirement in miniature:
+// engine errors must keep their semantics after crossing the wire.
+func TestErrorMappingRoundTrip(t *testing.T) {
+	abort := &cc.AbortError{Reason: cc.ReasonWriteRejected, Err: errors.New("too late")}
+	cases := []struct {
+		name  string
+		in    error
+		check func(error) bool
+	}{
+		{"abort", abort, cc.IsAbort},
+		{"abort reason", abort, func(err error) bool { return cc.AbortReason(err) == cc.ReasonWriteRejected }},
+		{"engine closed", cc.ErrEngineClosed, func(err error) bool { return errors.Is(err, cc.ErrEngineClosed) }},
+		{"engine closed is not abort", cc.ErrEngineClosed, func(err error) bool { return !cc.IsAbort(err) }},
+		{"txn done", fmt.Errorf("op: %w", cc.ErrTxnDone), func(err error) bool { return errors.Is(err, cc.ErrTxnDone) }},
+		{"plain error", errors.New("boom"), func(err error) bool { return err != nil && !cc.IsAbort(err) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st, reason, msg := StatusOf(c.in)
+			resp := Response{Status: st, Reason: reason, Message: msg}
+			// Cross the wire for real.
+			p := AppendResponse(nil, OpCommit, &resp)
+			got, err := DecodeResponse(OpCommit, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.check(got.Err()) {
+				t.Fatalf("reconstructed error %v (%T) fails the semantic check", got.Err(), got.Err())
+			}
+		})
+	}
+	if st, _, _ := StatusOf(nil); st != StatusOK {
+		t.Fatalf("StatusOf(nil) = %v, want StatusOK", st)
+	}
+	// An abort wrapping ErrTxnDone must classify as abort (IsAbort wins
+	// over the TxnDone sentinel, matching the retry runner's expectations).
+	wrapped := &cc.AbortError{Reason: cc.ReasonTimedOut, Err: cc.ErrTxnDone}
+	if st, _, _ := StatusOf(wrapped); st != StatusAbort {
+		t.Fatalf("StatusOf(abort wrapping ErrTxnDone) = %v, want StatusAbort", st)
+	}
+}

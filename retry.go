@@ -1,6 +1,7 @@
 package hdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -36,8 +37,10 @@ type RetryPolicy struct {
 	// Seed makes the jitter sequence reproducible; 0 seeds from the
 	// backoff parameters (still deterministic).
 	Seed int64
-	// Sleep replaces time.Sleep between attempts, for tests. Nil means
-	// time.Sleep.
+	// Sleep replaces the inter-attempt wait, for tests. Nil means a real
+	// timed wait that RunCtx interrupts when its context is cancelled; a
+	// non-nil Sleep is called as-is (and is therefore not cancellable
+	// mid-wait, though cancellation is still observed between attempts).
 	Sleep func(time.Duration)
 }
 
@@ -55,9 +58,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 		p.Jitter = 1
 	} else if p.Jitter < 0 {
 		p.Jitter = 0
-	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
 	}
 	return p
 }
@@ -96,8 +96,21 @@ func (e *RetryError) Unwrap() error { return e.Last }
 //
 // Run gives up immediately on non-abort errors (including ErrEngineClosed
 // after Engine.Close) and returns a *RetryError once MaxAttempts abort
-// errors have been consumed.
+// errors have been consumed. Run is RunCtx with a background context: it
+// cannot be interrupted mid-backoff.
 func Run(eng Beginner, class ClassID, fn func(Txn) error, p RetryPolicy) error {
+	return RunCtx(context.Background(), eng, class, fn, p)
+}
+
+// RunCtx is Run with cancellation: between attempts — including in the
+// middle of a backoff sleep — it observes ctx and returns ctx.Err() as
+// soon as the context is cancelled or its deadline expires. An attempt
+// already inside fn is not interrupted (HDD transactions have their own
+// deadline machinery for that); cancellation takes effect at the next
+// attempt boundary. The networked client uses RunCtx so a load generator
+// or request handler can abandon a retry loop without waiting out the
+// backoff schedule.
+func RunCtx(ctx context.Context, eng Beginner, class ClassID, fn func(Txn) error, p RetryPolicy) error {
 	p = p.withDefaults()
 	seed := p.Seed
 	if seed == 0 {
@@ -107,7 +120,12 @@ func Run(eng Beginner, class ClassID, fn func(Txn) error, p RetryPolicy) error {
 	var last error
 	for attempt := 0; p.MaxAttempts < 0 || attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			p.Sleep(backoff(p, rng, attempt-1))
+			if err := sleepBackoff(ctx, p, backoff(p, rng, attempt-1)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		var (
 			t   Txn
@@ -131,6 +149,25 @@ func Run(eng Beginner, class ClassID, fn func(Txn) error, p RetryPolicy) error {
 		return nil
 	}
 	return &RetryError{Attempts: p.MaxAttempts, Last: last}
+}
+
+// sleepBackoff waits out one backoff delay, returning early with ctx.Err()
+// when the context is cancelled. A test-installed Sleep hook is called
+// uninterruptibly (cancellation is then only observed at the attempt
+// boundary).
+func sleepBackoff(ctx context.Context, p RetryPolicy, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // runAttempt runs fn and commits, aborting on any failure (including a fn

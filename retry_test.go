@@ -1,8 +1,11 @@
 package hdd
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
+	"hdd/internal/cc"
 	"testing"
 	"time"
 )
@@ -250,5 +253,52 @@ func TestBackoffBoundsAndJitter(t *testing.T) {
 		if d != want[n]*time.Millisecond {
 			t.Fatalf("backoff(%d) = %v, want %v", n, d, want[n]*time.Millisecond)
 		}
+	}
+}
+
+func TestRunCtxCancelledBeforeFirstAttempt(t *testing.T) {
+	e := retryEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunCtx(ctx, e, 0, func(txn Txn) error {
+		ran = true
+		return nil
+	}, RetryPolicy{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite a cancelled context")
+	}
+}
+
+// TestRunCtxCancelDuringBackoff cancels the context while RunCtx is
+// sleeping between attempts: the sleep must be interrupted rather than
+// running to completion, and the cancellation error surfaces.
+func TestRunCtxCancelDuringBackoff(t *testing.T) {
+	e := retryEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- RunCtx(ctx, e, 0, func(txn Txn) error {
+			attempts++
+			if attempts == 1 {
+				cancel()
+			}
+			return &cc.AbortError{Reason: cc.ReasonUserAbort, Err: errors.New("force retry")}
+		}, RetryPolicy{MaxAttempts: -1, BaseDelay: time.Hour, Jitter: -1})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunCtx kept sleeping after the context was cancelled")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
 	}
 }

@@ -1,0 +1,58 @@
+#!/bin/sh
+# loadtest.sh: spawn hddserver on an ephemeral port, drive it with
+# hddload, and archive the latency results as BENCH_net.json via the
+# same benchjson format the scaling benchmarks use.
+#
+# Environment knobs (all optional):
+#   CLIENTS  concurrent workers          (default 8)
+#   TXNS     transactions per worker     (default 200)
+#   OUT      output JSON path            (default BENCH_net.json)
+set -eu
+
+CLIENTS="${CLIENTS:-8}"
+TXNS="${TXNS:-200}"
+OUT="${OUT:-BENCH_net.json}"
+GO="${GO:-go}"
+
+workdir="$(mktemp -d)"
+addrfile="$workdir/addr"
+server_pid=""
+
+cleanup() {
+	if [ -n "$server_pid" ]; then
+		# SIGTERM triggers the server's graceful drain.
+		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$workdir/hddserver" ./cmd/hddserver
+"$GO" build -o "$workdir/hddload" ./cmd/hddload
+"$GO" build -o "$workdir/benchjson" ./cmd/benchjson
+
+"$workdir/hddserver" -addr 127.0.0.1:0 -addr-file "$addrfile" -quiet &
+server_pid=$!
+
+# The server writes its bound address once the listener is up.
+i=0
+while [ ! -s "$addrfile" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "loadtest: server never published its address" >&2
+		exit 1
+	fi
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "loadtest: server exited before binding" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$addrfile")"
+echo "loadtest: server at $addr (pid $server_pid)" >&2
+
+"$workdir/hddload" -addr "$addr" -clients "$CLIENTS" -txns "$TXNS" \
+	| "$workdir/benchjson" -out "$OUT"
+
+echo "loadtest: wrote $OUT" >&2
