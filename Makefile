@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-smoke experiments examples check clean serve loadtest
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest recovery-smoke fuzz-wal
 
 all: build vet test
 
@@ -37,10 +37,18 @@ bench-parallel:
 		-benchmem -cpu 1,2,4,8 -benchtime $(BENCHTIME) \
 		| $(GO) run ./cmd/benchjson -out BENCH_parallel.json
 
+# Commit-path durability grid: memory-only vs group-committed WAL
+# (several flush policies) vs per-commit fsync, at 1 and 8 committers.
+bench-wal:
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkWALCommit \
+		-benchtime $(BENCHTIME) \
+		| $(GO) run ./cmd/benchjson -out BENCH_wal.json
+
 # CI smoke: every benchmark compiles and runs once; scaling run at 1x.
 bench-smoke:
 	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
 	$(MAKE) bench-parallel BENCHTIME=1x
+	$(MAKE) bench-wal BENCHTIME=1x
 
 # Run the networked HDD service in the foreground (Ctrl-C drains).
 serve:
@@ -50,6 +58,18 @@ serve:
 # BENCH_net.json. CLIENTS/TXNS/OUT env vars tune the run.
 loadtest:
 	sh scripts/loadtest.sh
+
+# Crash-recovery smoke: SIGKILL hddserver mid-load, restart on the same
+# -data-dir, verify WAL replay and a clean follow-up load.
+recovery-smoke:
+	sh scripts/recovery_smoke.sh
+
+# Short fixed-budget fuzz of the WAL decoder and replay loop (the
+# checked-in corpus under internal/wal/testdata runs on every `go test`).
+FUZZTIME ?= 10s
+fuzz-wal:
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME)
 
 # Paper-style experiment tables with shape checks.
 experiments:

@@ -43,6 +43,11 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle for this long; 0 disables")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before force-closing sessions")
 		quiet        = flag.Bool("quiet", false, "suppress connection-level diagnostics")
+
+		dataDir       = flag.String("data-dir", "", "durable state directory (snapshot + WAL); empty runs memory-only")
+		walFlush      = flag.Duration("wal-flush-interval", 0, "group-commit window; 0 flushes ASAP (batching by backpressure)")
+		walSyncEach   = flag.Bool("wal-sync-each", false, "fsync every commit individually instead of group committing")
+		snapshotBytes = flag.Int64("snapshot-bytes", 8<<20, "WAL size that triggers a background snapshot; negative disables")
 	)
 	flag.Parse()
 
@@ -50,14 +55,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := core.NewEngine(core.Config{
+	cfg := core.Config{
 		Partition:      part,
 		WallInterval:   vclock.Time(*wallInterval),
 		GCEveryCommits: *gcEvery,
 		TxnTimeout:     *txnTimeout,
-	})
+	}
+	if *dataDir != "" {
+		cfg.Durability = core.DurabilityWAL
+		cfg.DataDir = *dataDir
+		cfg.WALFlushInterval = *walFlush
+		cfg.WALSyncEach = *walSyncEach
+		cfg.SnapshotBytes = *snapshotBytes
+	}
+	// With -data-dir set, NewEngine recovers snapshot + WAL before
+	// returning, so the listener only opens on fully recovered state.
+	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if ds, ok := eng.DurabilityStats(); ok {
+		fmt.Fprintf(os.Stderr, "hddserver: recovered %s in %v (snapshot=%v, replayed %d records, torn tail=%v, high water %d)\n",
+			*dataDir, ds.Recovery.Duration.Round(time.Microsecond), ds.Recovery.SnapshotLoaded,
+			ds.Recovery.ReplayedRecords, ds.Recovery.TornTail, ds.Recovery.HighWater)
 	}
 
 	opts := server.Options{IdleTimeout: *idleTimeout}

@@ -295,7 +295,9 @@ func (t *adhocTxn) Write(g schema.GranuleID, value []byte) error {
 	return nil
 }
 
-// Commit implements cc.Txn.
+// Commit implements cc.Txn. The durable-commit ordering matches
+// updateTxn.Commit: marker enqueued before the version flips under t.mu,
+// flush awaited only after the held gates are released.
 func (t *adhocTxn) Commit() error {
 	e := t.eng
 	t.mu.Lock()
@@ -305,6 +307,10 @@ func (t *adhocTxn) Commit() error {
 		return err
 	}
 	t.done = true
+	var wait func() error
+	if e.dur != nil && len(t.writes) > 0 {
+		wait = e.dur.persist.PersistCommit(t.init)
+	}
 	for g := range t.writes {
 		e.store.Commit(g, t.init)
 	}
@@ -315,6 +321,11 @@ func (t *adhocTxn) Commit() error {
 	e.ctr.Commits.Add(1)
 	e.rec.RecordCommit(t.init, at)
 	e.walls.Poll()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("core: commit %d applied in memory but not durable: %w", t.init, err)
+		}
+	}
 	return nil
 }
 

@@ -28,6 +28,12 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 // timestamp so every new transaction orders after everything recovered.
 // cfg.Clock, if supplied, is advanced with Observe rather than replaced.
 func NewEngineFromCheckpoint(cfg Config, r io.Reader) (*Engine, error) {
+	if cfg.Durability != DurabilityNone {
+		// WAL-backed engines recover from Config.DataDir (snapshot + log)
+		// inside NewEngine; layering an explicit checkpoint under that
+		// would leave two sources of truth.
+		return nil, fmt.Errorf("core: NewEngineFromCheckpoint requires DurabilityNone; WAL engines recover from Config.DataDir")
+	}
 	store, high, err := mvstore.ReadCheckpoint(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering checkpoint: %w", err)

@@ -1,0 +1,324 @@
+package core
+
+// Durability: the pluggable persistence substrate behind the engine
+// (DESIGN.md §10). The concurrency kernel is unchanged — it runs against
+// the in-memory multi-version store — while a mvstore.Persister hook
+// streams every install/abort/prune into a redo-only WAL
+// (internal/wal), commit markers ride the WAL's group-commit pipeline,
+// and a background snapshotter bounds the log with the existing
+// HDDCKPT1 checkpoint format. Startup recovery is snapshot + WAL-tail
+// replay, discarding transactions without a durable commit marker.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdd/internal/mvstore"
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+	"hdd/internal/wal"
+)
+
+// DurabilityMode selects the engine's persistence backend.
+type DurabilityMode uint8
+
+const (
+	// DurabilityNone (default) keeps the engine memory-only; a crash
+	// loses everything, as in the original reproduction.
+	DurabilityNone DurabilityMode = iota
+	// DurabilityWAL persists every commit to a write-ahead log under
+	// Config.DataDir before acknowledging it, recovers snapshot+log on
+	// startup, and snapshots in the background to truncate the log.
+	DurabilityWAL
+)
+
+// File names under Config.DataDir.
+const (
+	snapshotFile = "snapshot"
+	walFile      = "wal.log"
+)
+
+// RecoveryStats describes what startup recovery found and did.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot file was present.
+	SnapshotLoaded bool
+	// ReplayedRecords and ReplayedBytes measure the WAL tail applied on
+	// top of the snapshot.
+	ReplayedRecords int64
+	ReplayedBytes   int64
+	// TornTail reports whether the log ended in a partial record (the
+	// normal signature of a crash mid-flush); the tail was truncated.
+	TornTail bool
+	// HighWater is the largest timestamp recovered; the logical clock
+	// restarted above it.
+	HighWater vclock.Time
+	// Duration is the wall-clock time recovery took.
+	Duration time.Duration
+}
+
+// DurabilityStats is the durability layer's counter snapshot, exposed
+// through the server's Stats opcode.
+type DurabilityStats struct {
+	WAL          wal.Stats
+	LogBytes     int64
+	Snapshots    int64
+	SnapshotErrs int64
+	Recovery     RecoveryStats
+}
+
+// durability is the engine's durability state; nil when DurabilityNone.
+type durability struct {
+	log     *wal.Log
+	persist *wal.Persister
+	dataDir string
+
+	snapshotBytes int64
+	rec           RecoveryStats
+
+	// snapMu serializes Snapshot calls (the background snapshotter vs an
+	// explicit server-shutdown snapshot).
+	snapMu       sync.Mutex
+	snapshots    atomic.Int64
+	snapshotErrs atomic.Int64
+	closeErr     error
+}
+
+// initDurability runs recovery and installs the WAL behind the store.
+// Called from NewEngine after the kernel is assembled, before any
+// transaction can begin.
+func (e *Engine) initDurability(cfg Config) error {
+	if cfg.DataDir == "" {
+		return fmt.Errorf("core: Durability WAL requires Config.DataDir")
+	}
+	start := time.Now()
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return fmt.Errorf("core: creating data dir: %w", err)
+	}
+	d := &durability{dataDir: cfg.DataDir, snapshotBytes: cfg.SnapshotBytes}
+	if d.snapshotBytes == 0 {
+		d.snapshotBytes = 8 << 20
+	}
+
+	// Recovery step 1: load the latest snapshot, if any.
+	var high vclock.Time
+	snapPath := filepath.Join(cfg.DataDir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		store, h, rerr := mvstore.ReadCheckpoint(f)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("core: loading snapshot: %w", rerr)
+		}
+		e.store = store
+		high = h
+		d.rec.SnapshotLoaded = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("core: opening snapshot: %w", err)
+	}
+
+	// Recovery step 2: replay the WAL tail on top of the snapshot. The
+	// persister is not installed yet, so replay appends nothing.
+	walPath := filepath.Join(cfg.DataDir, walFile)
+	var valid int64
+	if f, err := os.Open(walPath); err == nil {
+		v, n, torn, rerr := e.replayWAL(f, &high)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("core: replaying wal: %w", rerr)
+		}
+		valid = v
+		d.rec.ReplayedRecords = n
+		d.rec.ReplayedBytes = v
+		d.rec.TornTail = torn
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("core: opening wal: %w", err)
+	}
+
+	// Recovery step 3: reopen the log for appending, truncating the torn
+	// tail, and hook it behind the store.
+	log, err := wal.Open(walPath, valid, wal.Options{
+		FlushInterval: cfg.WALFlushInterval,
+		FlushBytes:    cfg.WALFlushBytes,
+		SyncEach:      cfg.WALSyncEach,
+	})
+	if err != nil {
+		return err
+	}
+	d.log = log
+	d.persist = &wal.Persister{Log: log}
+	e.store.SetPersister(d.persist)
+
+	// Recovery step 4: restart the logical clock above everything
+	// recovered, so every new transaction orders after it, and recompute
+	// the wall so the first Protocol C reads see the recovered state.
+	e.clock.Observe(high)
+	e.walls.Force()
+	d.rec.HighWater = high
+	d.rec.Duration = time.Since(start)
+	e.dur = d
+
+	if d.snapshotBytes > 0 {
+		interval := cfg.SnapshotInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		e.bgWG.Add(1)
+		go e.snapshotter(interval)
+	}
+	return nil
+}
+
+// replayWAL applies the redo log to the store. Writes are buffered per
+// transaction and installed only when that transaction's commit marker
+// appears — a transaction without a durable marker never happened
+// (no-steal redo-only recovery). Aborts drop the buffer early; prunes
+// re-run GC so replay does not resurrect versions a logged GC pass
+// removed. high is advanced over every timestamp seen, committed or not,
+// so the restarted clock can never re-issue a timestamp that reached the
+// log.
+func (e *Engine) replayWAL(r io.Reader, high *vclock.Time) (valid, records int64, torn bool, err error) {
+	observe := func(ts vclock.Time) {
+		if ts > *high {
+			*high = ts
+		}
+	}
+	pending := make(map[vclock.Time]map[schema.GranuleID][]byte)
+	return wal.Replay(r, func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindWrite:
+			observe(rec.Txn)
+			m := pending[rec.Txn]
+			if m == nil {
+				m = make(map[schema.GranuleID][]byte)
+				pending[rec.Txn] = m
+			}
+			m[schema.GranuleID{Segment: rec.Seg, Key: rec.Key}] = rec.Value
+		case wal.KindAbort:
+			observe(rec.Txn)
+			delete(pending[rec.Txn], schema.GranuleID{Segment: rec.Seg, Key: rec.Key})
+		case wal.KindCommit:
+			observe(rec.Txn)
+			for g, v := range pending[rec.Txn] {
+				ierr := e.store.InstallPending(g, rec.Txn, v)
+				if errors.Is(ierr, mvstore.ErrVersionExists) {
+					// The snapshot already holds this version: the crash hit
+					// between the snapshot rename and the log truncation.
+					continue
+				}
+				if ierr != nil {
+					return fmt.Errorf("core: replaying write %v@%d: %w", g, rec.Txn, ierr)
+				}
+				e.store.Commit(g, rec.Txn)
+			}
+			delete(pending, rec.Txn)
+		case wal.KindPrune:
+			observe(rec.Watermark)
+			e.store.GC(rec.Watermark)
+		}
+		return nil
+	})
+}
+
+// Snapshot quiesces update processing (taking every §7.1 admission gate,
+// exactly like WriteCheckpoint), writes the store to the snapshot file
+// atomically (tmp + fsync + rename), and truncates the WAL. Read-only
+// transactions keep running throughout. It is the log-bounding duty of
+// §7.3, run by the background snapshotter past Config.SnapshotBytes and
+// by the server on shutdown.
+func (e *Engine) Snapshot() error {
+	if e.dur == nil {
+		return fmt.Errorf("core: durability is not enabled")
+	}
+	e.dur.snapMu.Lock()
+	defer e.dur.snapMu.Unlock()
+	all := e.gate.lockAll()
+	defer e.gate.unlock(all)
+	// Make the log complete up to the quiesce point first: if the
+	// checkpoint write fails we still have a fully durable log.
+	if err := e.dur.log.Sync(); err != nil {
+		e.dur.snapshotErrs.Add(1)
+		return fmt.Errorf("core: syncing wal before snapshot: %w", err)
+	}
+	tmp := filepath.Join(e.dur.dataDir, snapshotFile+".tmp")
+	if err := e.writeSnapshotFile(tmp); err != nil {
+		e.dur.snapshotErrs.Add(1)
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(e.dur.dataDir, snapshotFile)); err != nil {
+		e.dur.snapshotErrs.Add(1)
+		os.Remove(tmp)
+		return fmt.Errorf("core: publishing snapshot: %w", err)
+	}
+	// Sync the directory so the rename itself is durable before the log
+	// contents it supersedes are dropped.
+	if dirf, err := os.Open(e.dur.dataDir); err == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	if err := e.dur.log.Reset(); err != nil {
+		e.dur.snapshotErrs.Add(1)
+		return fmt.Errorf("core: truncating wal after snapshot: %w", err)
+	}
+	e.dur.snapshots.Add(1)
+	return nil
+}
+
+func (e *Engine) writeSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating snapshot: %w", err)
+	}
+	if _, err := e.store.WriteCheckpoint(f); err != nil {
+		f.Close()
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: closing snapshot: %w", err)
+	}
+	return nil
+}
+
+// snapshotter polls the log size and snapshots once it crosses the
+// configured threshold, bounding recovery time and disk use.
+func (e *Engine) snapshotter(interval time.Duration) {
+	defer e.bgWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-tick.C:
+			if e.dur.log.Size() >= e.dur.snapshotBytes {
+				// Errors are counted (DurabilityStats.SnapshotErrs) and the
+				// next tick retries; the log keeps growing but stays correct.
+				e.Snapshot()
+			}
+		}
+	}
+}
+
+// DurabilityStats returns the durability layer's counters; ok is false
+// when the engine runs with DurabilityNone.
+func (e *Engine) DurabilityStats() (DurabilityStats, bool) {
+	if e.dur == nil {
+		return DurabilityStats{}, false
+	}
+	return DurabilityStats{
+		WAL:          e.dur.log.Stats(),
+		LogBytes:     e.dur.log.Size(),
+		Snapshots:    e.dur.snapshots.Load(),
+		SnapshotErrs: e.dur.snapshotErrs.Load(),
+		Recovery:     e.dur.rec,
+	}, true
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// durableEngine opens a WAL-backed engine over dir with automatic
+// snapshots disabled (tests trigger them explicitly).
+func durableEngine(t *testing.T, part *schema.Partition, dir string) *Engine {
+	t.Helper()
+	e, err := NewEngine(Config{
+		Partition:     part,
+		WallInterval:  8,
+		Durability:    DurabilityWAL,
+		DataDir:       dir,
+		SnapshotBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// readLatest reads g through a fresh update transaction of the writing
+// class — a Protocol B own-root read, which sees the latest committed
+// version regardless of wall release.
+func readLatest(t *testing.T, e *Engine, class schema.ClassID, g schema.GranuleID) (string, bool) {
+	t.Helper()
+	txn, err := e.Begin(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txn.Abort()
+	v, err := txn.Read(g)
+	if err != nil {
+		t.Fatalf("read %v: %v", g, err)
+	}
+	return string(v), v != nil
+}
+
+func TestDurableCommitSurvivesReopen(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e := durableEngine(t, part, dir)
+	for i := 0; i < 10; i++ {
+		txn, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, txn, gr(0, i), "v")
+		mustCommit(t, txn)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	e2 := durableEngine(t, part, dir)
+	defer e2.Close()
+	st, ok := e2.DurabilityStats()
+	if !ok {
+		t.Fatal("DurabilityStats not available on WAL engine")
+	}
+	if st.Recovery.SnapshotLoaded {
+		t.Error("snapshot reported loaded; none was written")
+	}
+	if st.Recovery.ReplayedRecords == 0 {
+		t.Error("no records replayed on reopen")
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := readLatest(t, e2, 0, gr(0, i)); !ok || v != "v" {
+			t.Fatalf("key %d: got (%q, %v), want recovered \"v\"", i, v, ok)
+		}
+	}
+}
+
+func TestUncommittedWritesDoNotSurvive(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e := durableEngine(t, part, dir)
+	committed, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, committed, gr(0, 1), "durable")
+	mustCommit(t, committed)
+	// This transaction's write reaches the log, but no commit marker
+	// ever does — recovery must discard it.
+	hanging, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, hanging, gr(0, 2), "ghost")
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	e2 := durableEngine(t, part, dir)
+	defer e2.Close()
+	if v, ok := readLatest(t, e2, 0, gr(0, 1)); !ok || v != "durable" {
+		t.Fatalf("committed key lost: got (%q, %v)", v, ok)
+	}
+	if v, ok := readLatest(t, e2, 0, gr(0, 2)); ok {
+		t.Fatalf("uncommitted write survived recovery: %q", v)
+	}
+}
+
+func TestSnapshotTruncatesLogAndRecovers(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e := durableEngine(t, part, dir)
+	for i := 0; i < 5; i++ {
+		txn, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, txn, gr(0, i), "snap")
+		mustCommit(t, txn)
+	}
+	if err := e.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	st, _ := e.DurabilityStats()
+	if st.LogBytes != 0 {
+		t.Errorf("log not truncated after snapshot: %d bytes", st.LogBytes)
+	}
+	if st.Snapshots != 1 {
+		t.Errorf("Snapshots = %d, want 1", st.Snapshots)
+	}
+	// More commits after the snapshot land in the fresh log.
+	txn, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, txn, gr(0, 99), "tail")
+	mustCommit(t, txn)
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	e2 := durableEngine(t, part, dir)
+	defer e2.Close()
+	st2, _ := e2.DurabilityStats()
+	if !st2.Recovery.SnapshotLoaded {
+		t.Error("snapshot not loaded on reopen")
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := readLatest(t, e2, 0, gr(0, i)); !ok || v != "snap" {
+			t.Fatalf("key %d from snapshot: got (%q, %v)", i, v, ok)
+		}
+	}
+	if v, ok := readLatest(t, e2, 0, gr(0, 99)); !ok || v != "tail" {
+		t.Fatalf("post-snapshot key: got (%q, %v)", v, ok)
+	}
+}
+
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e := durableEngine(t, part, dir)
+	txn, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, txn, gr(0, 1), "before-crash")
+	mustCommit(t, txn)
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Simulate a crash mid-flush: append half a frame to the log.
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 40, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2 := durableEngine(t, part, dir)
+	defer e2.Close()
+	st, _ := e2.DurabilityStats()
+	if !st.Recovery.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if v, ok := readLatest(t, e2, 0, gr(0, 1)); !ok || v != "before-crash" {
+		t.Fatalf("pre-tear commit lost: got (%q, %v)", v, ok)
+	}
+	// The tail was truncated: appends start on a clean boundary, so a
+	// third open replays everything cleanly.
+	txn2, err := e2.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, txn2, gr(0, 2), "after-tear")
+	mustCommit(t, txn2)
+	e2.Close()
+	e3 := durableEngine(t, part, dir)
+	defer e3.Close()
+	st3, _ := e3.DurabilityStats()
+	if st3.Recovery.TornTail {
+		t.Error("tear reported again after truncation")
+	}
+	if v, ok := readLatest(t, e3, 0, gr(0, 2)); !ok || v != "after-tear" {
+		t.Fatalf("post-tear commit lost: got (%q, %v)", v, ok)
+	}
+}
+
+func TestClockRestartsAboveRecoveredHighWater(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e := durableEngine(t, part, dir)
+	var last vclock.Time
+	for i := 0; i < 20; i++ {
+		txn, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = txn.ID()
+		write(t, txn, gr(0, 0), "x")
+		mustCommit(t, txn)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := durableEngine(t, part, dir)
+	defer e2.Close()
+	st, _ := e2.DurabilityStats()
+	if st.Recovery.HighWater < last {
+		t.Errorf("recovered high water %d below last committed txn %d", st.Recovery.HighWater, last)
+	}
+	txn, err := e2.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txn.ID() <= last {
+		t.Errorf("post-recovery txn %d not above recovered high water %d", txn.ID(), last)
+	}
+	// And it can overwrite the recovered granule (no MVTO rejection from
+	// a stale clock).
+	write(t, txn, gr(0, 0), "y")
+	mustCommit(t, txn)
+}
+
+func TestSnapshotterRunsInBackground(t *testing.T) {
+	part := twoLevel(t)
+	dir := t.TempDir()
+	e, err := NewEngine(Config{
+		Partition:        part,
+		WallInterval:     8,
+		Durability:       DurabilityWAL,
+		DataDir:          dir,
+		SnapshotBytes:    1, // every poll finds the log over threshold
+		SnapshotInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	txn, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, txn, gr(0, 1), strings.Repeat("z", 128))
+	mustCommit(t, txn)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := e.DurabilityStats()
+		if st.Snapshots > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshotter never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+}
+
+func TestNewEngineFromCheckpointRejectsWAL(t *testing.T) {
+	part := twoLevel(t)
+	_, err := NewEngineFromCheckpoint(Config{
+		Partition:  part,
+		Durability: DurabilityWAL,
+		DataDir:    t.TempDir(),
+	}, strings.NewReader(""))
+	if err == nil {
+		t.Fatal("NewEngineFromCheckpoint accepted a WAL config")
+	}
+}

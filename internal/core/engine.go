@@ -111,6 +111,32 @@ type Config struct {
 	// starts the reaper for engines that only use per-transaction
 	// deadlines.
 	ReapInterval time.Duration
+	// Durability selects the persistence backend (durability.go):
+	// DurabilityNone (default) is memory-only; DurabilityWAL logs every
+	// commit to a write-ahead log under DataDir before acknowledging it
+	// and recovers snapshot+log on startup.
+	Durability DurabilityMode
+	// DataDir is the durable state directory (snapshot + wal.log).
+	// Required when Durability is DurabilityWAL.
+	DataDir string
+	// WALFlushInterval is the group-commit window: how long the log holds
+	// a flush batch open for more committers to join. 0 (default) flushes
+	// as soon as possible — batching then comes from fsync backpressure.
+	WALFlushInterval time.Duration
+	// WALFlushBytes flushes a batch early once this many bytes are
+	// pending. Defaults to 256 KiB.
+	WALFlushBytes int
+	// WALSyncEach fsyncs every commit individually instead of group
+	// committing — the durability baseline the benchmarks compare against.
+	WALSyncEach bool
+	// SnapshotBytes is the log size past which the background snapshotter
+	// checkpoints the store and truncates the log. Defaults to 8 MiB;
+	// negative disables automatic snapshots (Snapshot can still be called
+	// explicitly).
+	SnapshotBytes int64
+	// SnapshotInterval is how often the snapshotter polls the log size.
+	// Defaults to 1s.
+	SnapshotInterval time.Duration
 }
 
 // Engine is the HDD concurrency-control engine. It is safe for concurrent
@@ -137,11 +163,16 @@ type Engine struct {
 
 	txnTimeout time.Duration
 
+	// dur is the durability layer (durability.go); nil when the engine is
+	// memory-only.
+	dur *durability
+
 	// closed is closed by Close; blocked waiters select on it, and
 	// Begin/Read/Write fail once it is closed.
 	closed    chan struct{}
 	closeOnce sync.Once
-	reaperWG  sync.WaitGroup
+	// bgWG joins the background goroutines (reaper, snapshotter).
+	bgWG sync.WaitGroup
 
 	// live registers every in-flight transaction for the reaper, striped
 	// by TxnID; see registry.go.
@@ -184,8 +215,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.gate.init(cfg.Partition)
 	e.live.init()
+	if cfg.Durability == DurabilityWAL {
+		// Recovery runs to completion before NewEngine returns: no
+		// transaction can begin against a half-recovered store.
+		if err := e.initDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
 	if interval := reapInterval(cfg); interval > 0 {
-		e.reaperWG.Add(1)
+		e.bgWG.Add(1)
 		go e.reaper(interval)
 	}
 	return e, nil
@@ -208,15 +246,23 @@ func reapInterval(cfg Config) time.Duration {
 // Name implements cc.Engine.
 func (e *Engine) Name() string { return "HDD" }
 
-// Close implements cc.Engine: it stops the background reaper, wakes every
-// blocked Protocol B waiter with cc.ErrEngineClosed, and fails subsequent
-// Begin/Read/Write calls. Close is idempotent; transactions already in
-// flight may still Commit or Abort.
+// Close implements cc.Engine: it stops the background goroutines
+// (reaper, snapshotter), wakes every blocked Protocol B waiter with
+// cc.ErrEngineClosed, and fails subsequent Begin/Read/Write calls. With
+// durability enabled it then flushes and closes the WAL; a transaction
+// that commits after Close gets its memory effect but its commit returns
+// a non-durable error. Close is idempotent.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.closed)
-		e.reaperWG.Wait()
+		e.bgWG.Wait()
+		if e.dur != nil {
+			e.dur.closeErr = e.dur.log.Close()
+		}
 	})
+	if e.dur != nil {
+		return e.dur.closeErr
+	}
 	return nil
 }
 

@@ -62,7 +62,7 @@ func (e *Engine) ForceAbort(id cc.TxnID) bool {
 // reaper is the background loop started by NewEngine when deadlines are
 // enabled. It exits when the engine closes.
 func (e *Engine) reaper(interval time.Duration) {
-	defer e.reaperWG.Done()
+	defer e.bgWG.Done()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {

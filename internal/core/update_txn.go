@@ -234,6 +234,15 @@ func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
 // commit: once the table shows this transaction resolved, every Protocol A
 // threshold that admits its versions must find them committed in the store
 // (the mutexes on both structures give the necessary happens-before).
+//
+// With durability enabled, the commit marker is enqueued to the WAL
+// *before* the version flips, still under t.mu: a dependent transaction
+// can only observe this transaction's versions after the flip, so its own
+// marker is enqueued — and therefore flushed — after this one, which is
+// the order recovery needs (DESIGN.md §10.3). The wait for the marker's
+// flush batch happens last, after every in-memory release (gate share,
+// registry, wall poll), so a quiescing snapshot or another committer is
+// never blocked behind this transaction's fsync.
 func (t *updateTxn) Commit() error {
 	e := t.eng
 	t.mu.Lock()
@@ -243,6 +252,10 @@ func (t *updateTxn) Commit() error {
 		return err
 	}
 	t.done = true
+	var wait func() error
+	if e.dur != nil && len(t.writes) > 0 {
+		wait = e.dur.persist.PersistCommit(t.init)
+	}
 	for g := range t.writes {
 		e.store.Commit(g, t.init)
 	}
@@ -254,6 +267,11 @@ func (t *updateTxn) Commit() error {
 	e.rec.RecordCommit(t.init, at)
 	e.walls.Poll()
 	e.maybeGC()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("core: commit %d applied in memory but not durable: %w", t.init, err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package core
+
+// BenchmarkWALCommit measures the commit path under each durability
+// arrangement — memory-only, group-committed WAL (several flush
+// policies), and per-commit fsync — at 1 and 8 concurrent committers.
+// The per-commit-fsync baseline serializes one log sync per commit, so
+// its throughput is capped near 1/fsync-latency regardless of
+// concurrency; group commit amortizes the sync across every committer
+// that arrives during the previous flush. `make bench-wal` archives the
+// grid as BENCH_wal.json; the ISSUE 4 acceptance bar is group commit ≥3×
+// per-commit fsync at 8 committers.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/schema"
+)
+
+func BenchmarkWALCommit(b *testing.B) {
+	type mode struct {
+		name string
+		cfg  func(dir string) Config
+	}
+	base := func() Config {
+		return Config{WallInterval: 256, GCEveryCommits: 256}
+	}
+	walCfg := func(dir string) Config {
+		cfg := base()
+		cfg.Durability = DurabilityWAL
+		cfg.DataDir = dir
+		cfg.SnapshotBytes = -1 // measure the log, not snapshot cycles
+		return cfg
+	}
+	modes := []mode{
+		{"none", func(string) Config { return base() }},
+		{"group", walCfg}, // FlushInterval 0: flush ASAP, batch by backpressure
+		{"group-1ms", func(dir string) Config {
+			cfg := walCfg(dir)
+			cfg.WALFlushInterval = time.Millisecond // group-commit window
+			return cfg
+		}},
+		{"group-4k", func(dir string) Config {
+			cfg := walCfg(dir)
+			cfg.WALFlushBytes = 4 << 10 // small byte threshold: early flushes
+			return cfg
+		}},
+		{"sync-each", func(dir string) Config {
+			cfg := walCfg(dir)
+			cfg.WALSyncEach = true
+			return cfg
+		}},
+	}
+	for _, m := range modes {
+		for _, committers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("mode=%s/c=%d", m.name, committers), func(b *testing.B) {
+				benchCommit(b, m.cfg(b.TempDir()), committers)
+			})
+		}
+	}
+}
+
+// benchCommit runs b.N single-write commits spread over the given number
+// of concurrent committers. Each committer owns one granule, so version
+// timestamps are monotone per chain and no MVTO rejection occurs; GC
+// keeps the chains short.
+func benchCommit(b *testing.B, cfg Config, committers int) {
+	p, err := schema.NewPartition(
+		[]string{"seg0"},
+		[]schema.ClassSpec{{Name: "writer", Writes: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Partition = p
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	value := make([]byte, 64)
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < committers; w++ {
+		n := b.N / committers
+		if w < b.N%committers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			g := schema.GranuleID{Segment: 0, Key: uint64(w)}
+			for i := 0; i < n; i++ {
+				txn, err := e.Begin(0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := txn.Write(g, value); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if st, ok := e.DurabilityStats(); ok {
+		b.ReportMetric(float64(st.WAL.Syncs), "syncs")
+		if st.WAL.Batches > 0 {
+			b.ReportMetric(float64(st.WAL.Records)/float64(st.WAL.Batches), "records/batch")
+		}
+	}
+}

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ type Histogram struct {
 	min     time.Duration
 	max     time.Duration
 	samples []time.Duration // reservoir, capped
+	rng     *rand.Rand      // reservoir index source; seeded deterministically
 }
 
 const reservoirCap = 4096
@@ -40,11 +42,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum += d
 	if len(h.samples) < reservoirCap {
 		h.samples = append(h.samples, d)
-	} else {
-		// Deterministic-enough reservoir: overwrite pseudo-randomly by
-		// count so long runs stay representative without a RNG dependency.
-		idx := int(uint64(h.count)*0x9e3779b97f4a7c15>>32) % reservoirCap
-		h.samples[idx] = d
+		return
+	}
+	// Algorithm R reservoir sampling: observation n replaces a uniformly
+	// random slot with probability cap/n, so every observation ends up
+	// retained with equal probability and the samples stay representative
+	// over arbitrarily long runs. (An earlier multiplicative-hash-by-count
+	// scheme was deterministic per count and never touched some slots,
+	// skewing long-run percentiles toward early observations.) The PCG is
+	// seeded with a fixed constant: runs stay reproducible, and only slot
+	// choice — never the data — depends on it.
+	if h.rng == nil {
+		h.rng = rand.New(rand.NewPCG(0x9e3779b97f4a7c15, reservoirCap))
+	}
+	if j := h.rng.Int64N(h.count); j < reservoirCap {
+		h.samples[j] = d
 	}
 }
 

@@ -49,6 +49,44 @@ func TestHistogramReservoirOverflow(t *testing.T) {
 	}
 }
 
+// TestHistogramReservoirRepresentative pins the Algorithm R property the
+// old multiplicative-hash overwrite lacked: after a long ascending run,
+// the retained samples track the full population, so the median lands
+// near n/2 instead of being skewed toward whatever slots the hash
+// happened to revisit.
+func TestHistogramReservoirRepresentative(t *testing.T) {
+	var h Histogram
+	const n = 200_000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i))
+	}
+	p50 := float64(h.Quantile(0.50))
+	if p50 < 0.40*n || p50 > 0.60*n {
+		t.Errorf("p50 = %.0f after ascending run of %d, want within 10%% of %d", p50, n, n/2)
+	}
+	p99 := float64(h.Quantile(0.99))
+	if p99 < 0.94*n {
+		t.Errorf("p99 = %.0f, want near %d", p99, n)
+	}
+	// Early observations must still be *able* to survive, but late ones
+	// dominate a 49x-overflowed reservoir only if slots keep rotating:
+	// every slot should have been overwritten at least once with high
+	// probability, so no more than a sliver of the reservoir predates
+	// overflow.
+	h.mu.Lock()
+	early := 0
+	for _, s := range h.samples {
+		if s <= reservoirCap {
+			early++
+		}
+	}
+	h.mu.Unlock()
+	// E[early] = cap·(cap/n) ≈ 84 for these parameters; 10x headroom.
+	if early > 840 {
+		t.Errorf("%d of %d reservoir slots still hold pre-overflow samples; reservoir not rotating", early, reservoirCap)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

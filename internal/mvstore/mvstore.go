@@ -80,6 +80,10 @@ type chain struct {
 type Store struct {
 	shards [numShards]shard
 
+	// persist is the durability hook (persister.go); nil means memory-only.
+	// Set once via SetPersister before the store is shared.
+	persist Persister
+
 	// Stats, maintained atomically.
 	versionsInstalled atomic.Int64
 	versionsAborted   atomic.Int64
@@ -138,6 +142,9 @@ func (s *Store) InstallPending(g schema.GranuleID, ts vclock.Time, value []byte)
 	copy(c.versions[i+2:], c.versions[i+1:])
 	c.versions[i+1] = v
 	s.versionsInstalled.Add(1)
+	if s.persist != nil {
+		s.persist.PersistInstall(g, ts, value)
+	}
 	return nil
 }
 
@@ -214,6 +221,9 @@ func (s *Store) Abort(g schema.GranuleID, ts vclock.Time) {
 	close(c.versions[i].done)
 	c.versions = append(c.versions[:i], c.versions[i+1:]...)
 	s.versionsAborted.Add(1)
+	if s.persist != nil {
+		s.persist.PersistAbort(g, ts)
+	}
 }
 
 // ReadCommittedBefore returns the value and timestamp of the latest
@@ -341,6 +351,9 @@ func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value [
 	v := version{ts: writerTS, value: append([]byte(nil), value...), state: Pending, done: make(chan struct{})}
 	c.versions = append(c.versions, v)
 	s.versionsInstalled.Add(1)
+	if s.persist != nil {
+		s.persist.PersistInstall(g, writerTS, value)
+	}
 	return nil
 }
 
@@ -359,6 +372,9 @@ func (s *Store) UpdatePending(g schema.GranuleID, ts vclock.Time, value []byte) 
 		panic(fmt.Sprintf("mvstore: update of missing pending version %v@%d", g, ts))
 	}
 	c.versions[i].value = append([]byte(nil), value...)
+	if s.persist != nil {
+		s.persist.PersistInstall(g, ts, value)
+	}
 }
 
 // RejectedError reports an MVTO write rejection.
@@ -417,6 +433,9 @@ func (s *Store) GC(watermark vclock.Time) int {
 		}
 	}
 	s.versionsPruned.Add(int64(pruned))
+	if s.persist != nil && pruned > 0 {
+		s.persist.PersistPrune(watermark)
+	}
 	return pruned
 }
 

@@ -1,0 +1,49 @@
+package mvstore
+
+import (
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// Persister is the store's durability hook: a narrow interface behind
+// which a durability backend (the WAL, in internal/wal) observes every
+// mutation the store applies, without the store knowing anything about
+// log formats or fsync policy. The checkpoint writer (checkpoint.go) is
+// the other implementation detail of durability — it serializes a
+// quiesced store wholesale — while the Persister captures the
+// incremental mutations between checkpoints.
+//
+// Hook methods other than PersistCommit are fire-and-forget: the records
+// they emit are advisory until a commit marker for the writing
+// transaction becomes durable, so they need neither return values nor
+// waiting. PersistCommit returns a wait function the *engine* (not the
+// store) blocks on before acknowledging the commit — the store never
+// calls it, because the commit marker is a per-transaction fact the
+// engine owns; it appears here so one interface names the complete
+// durability contract.
+//
+// Install/abort hooks are invoked while the granule's chain lock is
+// held, which orders each granule's records consistently with the
+// in-memory chain. Implementations must therefore be non-blocking
+// enqueues and must never call back into the Store.
+type Persister interface {
+	// PersistInstall records a pending-version install, or an in-place
+	// update of the writer's own pending version (the last record wins on
+	// replay).
+	PersistInstall(g schema.GranuleID, ts vclock.Time, value []byte)
+	// PersistAbort records the removal of one pending version.
+	PersistAbort(g schema.GranuleID, ts vclock.Time)
+	// PersistCommit records transaction ts's commit marker and returns a
+	// wait that blocks until the marker is durable.
+	PersistCommit(ts vclock.Time) func() error
+	// PersistPrune records a GC pass at the given watermark.
+	PersistPrune(watermark vclock.Time)
+}
+
+// SetPersister installs the durability hook. It must be called before
+// the store is shared across goroutines (the engine sets it during
+// construction/recovery, before serving transactions); a nil persister
+// (the default) makes every hook a no-op.
+func (s *Store) SetPersister(p Persister) {
+	s.persist = p
+}

@@ -196,7 +196,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.forceCloseSessions()
 		<-done
 	}
-	s.closeEngineOnce.Do(func() { s.eng.Close() })
+	s.closeEngine()
 	return err
 }
 
@@ -206,8 +206,25 @@ func (s *Server) Close() error {
 	s.beginDrain()
 	s.forceCloseSessions()
 	s.wg.Wait()
-	s.closeEngineOnce.Do(func() { s.eng.Close() })
+	s.closeEngine()
 	return nil
+}
+
+// closeEngine finishes shutdown once every session has drained: with
+// durability enabled it takes a final snapshot — committed state then
+// recovers from the snapshot alone, and the next boot replays an empty
+// log — then closes the engine (which flushes and closes the WAL).
+func (s *Server) closeEngine() {
+	s.closeEngineOnce.Do(func() {
+		if _, ok := s.eng.DurabilityStats(); ok {
+			if err := s.eng.Snapshot(); err != nil {
+				s.logf("server: final snapshot: %v", err)
+			}
+		}
+		if err := s.eng.Close(); err != nil {
+			s.logf("server: engine close: %v", err)
+		}
+	})
 }
 
 // beginDrain flips the server into draining mode: listeners close, idle
@@ -292,6 +309,20 @@ func (s *Server) statEntries() []wire.StatEntry {
 	}
 	entries = appendHistogram(entries, "commit", &s.commitLat)
 	entries = appendHistogram(entries, "read", &s.readLat)
+	if ds, ok := s.eng.DurabilityStats(); ok {
+		entries = append(entries,
+			wire.StatEntry{Name: "wal_records", Value: ds.WAL.Records},
+			wire.StatEntry{Name: "wal_flush_batches", Value: ds.WAL.Batches},
+			wire.StatEntry{Name: "wal_flushed_bytes", Value: ds.WAL.FlushedBytes},
+			wire.StatEntry{Name: "wal_syncs", Value: ds.WAL.Syncs},
+			wire.StatEntry{Name: "wal_commit_waits", Value: ds.WAL.CommitWaits},
+			wire.StatEntry{Name: "wal_log_bytes", Value: ds.LogBytes},
+			wire.StatEntry{Name: "wal_snapshots", Value: ds.Snapshots},
+			wire.StatEntry{Name: "wal_snapshot_errs", Value: ds.SnapshotErrs},
+			wire.StatEntry{Name: "wal_replayed_records", Value: ds.Recovery.ReplayedRecords},
+			wire.StatEntry{Name: "wal_recovery_ns", Value: int64(ds.Recovery.Duration)},
+		)
+	}
 	return entries
 }
 

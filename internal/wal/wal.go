@@ -1,0 +1,529 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdd/internal/schema"
+	"hdd/internal/vclock"
+)
+
+// Group commit.
+//
+// Serializing an fsync per commit caps throughput at 1/fsync-latency no
+// matter how many committers run. The Log instead batches: appenders
+// encode their record into a shared in-memory buffer under a short
+// mutex, committers attach to the *current batch*, and a single flusher
+// goroutine writes and fsyncs the whole buffer at once, resolving every
+// waiter of that batch together — one log I/O amortized across all the
+// commits that arrived while the previous one was in flight (the DGCC
+// observation: keep the commit hot path off the log's critical section).
+//
+// Batching is driven three ways:
+//
+//   - backpressure (always): records arriving while a flush is in
+//     progress pile into the next batch, so batch size adapts to fsync
+//     latency with no tuning;
+//   - FlushInterval: with a positive interval the flusher waits that
+//     long after a batch opens before flushing, trading commit latency
+//     for larger batches;
+//   - FlushBytes: a batch that grows past this threshold is flushed
+//     early regardless of the interval.
+//
+// Ack order vs flush order: a waiter is only released after *its* batch
+// — which contains its marker and every record appended before it — is
+// durable. The engine enqueues a transaction's commit marker before
+// making the commit visible in memory, so any transaction that observes
+// committed data has its own marker ordered after the marker of what it
+// read; a torn tail therefore never keeps a dependent while dropping its
+// dependency (DESIGN.md §10.3 gives the full argument).
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options tunes a Log. The zero value is a usable default: flush as soon
+// as the flusher can (batching by backpressure only), fsync every batch.
+type Options struct {
+	// FlushInterval is the group-commit window: how long the flusher
+	// waits after a batch opens before flushing it, so concurrent
+	// committers can share the fsync. 0 flushes as soon as the flusher
+	// wakes; batching then comes only from fsync backpressure.
+	FlushInterval time.Duration
+	// FlushBytes flushes a batch early once this many bytes are pending,
+	// bounding buffered memory under write bursts. Defaults to 256 KiB.
+	FlushBytes int
+	// SyncEach makes every commit write and fsync its own records inline,
+	// serialized — the per-commit-fsync baseline the group-commit
+	// benchmark compares against. No flusher goroutine runs.
+	SyncEach bool
+	// NoSync skips fsync entirely (write-only durability, for tests and
+	// for measuring the non-sync cost of logging).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 256 << 10
+	}
+	return o
+}
+
+// Stats are the Log's cumulative counters, all monotone.
+type Stats struct {
+	// Records and AppendedBytes count everything enqueued (framing
+	// included); FlushedBytes counts what reached the file.
+	Records, AppendedBytes, FlushedBytes int64
+	// Batches is the number of flush batches written; Syncs the number of
+	// fsyncs issued. Records/Batches is the group-commit amortization.
+	Batches, Syncs int64
+	// CommitWaits counts commit markers that waited on a batch.
+	CommitWaits int64
+	// Resets counts log truncations (one per snapshot).
+	Resets int64
+	// Dropped counts records discarded because the log was already closed
+	// or had a sticky I/O error.
+	Dropped int64
+}
+
+// Log is an append-only record log with a group-commit pipeline. It is
+// safe for concurrent use.
+type Log struct {
+	opts Options
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte // pending encoded frames
+	spare  []byte // idle half of the double buffer
+	cur    *batch // batch the next flush resolves; nil if no waiter yet
+	size   int64  // bytes appended since Open/Reset (durable + pending)
+	closed bool
+	err    error // sticky I/O error; fails all subsequent commits
+
+	kick chan struct{} // capacity 1: data pending / flush requested
+	quit chan struct{}
+	done chan struct{} // flusher exited
+
+	records, appendedBytes, flushedBytes atomic.Int64
+	batches, syncs                       atomic.Int64
+	commitWaits, resets, dropped         atomic.Int64
+}
+
+// batch is one group-commit unit: every waiter attached to it resolves
+// together when its bytes are durable (or the flush fails).
+type batch struct {
+	done chan struct{}
+	err  error
+}
+
+// Open opens (creating if absent) the log at path for appending,
+// truncating it first to validSize — the valid prefix a prior Replay
+// reported — so a torn tail never precedes fresh records. validSize < 0
+// skips the truncation.
+func Open(path string, validSize int64, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	if validSize >= 0 {
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seeking log end: %w", err)
+	}
+	l := &Log{
+		opts: opts.withDefaults(),
+		path: path,
+		f:    f,
+		size: end,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if !l.opts.SyncEach {
+		go l.flusher()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// Append enqueues one record without waiting for durability. The record
+// becomes durable with the batch that carries it; an I/O error surfaces
+// on the commits and Syncs that follow. Append on a closed or failed log
+// drops the record (counted in Stats().Dropped) — safe because every
+// non-commit record is advisory without a durable commit marker after it.
+func (l *Log) Append(r *Record) error {
+	_, err := l.append(r, false)
+	return err
+}
+
+// Commit enqueues one record and returns a wait function that blocks
+// until the record's flush batch is durable, returning the batch's
+// error. The wait function must be called without holding engine locks
+// that a flush could need (it only blocks on the flusher).
+func (l *Log) Commit(r *Record) func() error {
+	l.commitWaits.Add(1)
+	b, err := l.append(r, true)
+	if err != nil {
+		return func() error { return err }
+	}
+	if b == nil {
+		// SyncEach already made it durable inline.
+		return func() error { return nil }
+	}
+	return func() error {
+		<-b.done
+		return b.err
+	}
+}
+
+// append encodes r into the pending buffer and, when want is set,
+// returns the batch the caller should wait on.
+func (l *Log) append(r *Record, want bool) (*batch, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return nil, ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return nil, err
+	}
+	start := len(l.buf)
+	l.buf = appendFrame(l.buf, r)
+	n := int64(len(l.buf) - start)
+	l.size += n
+	l.records.Add(1)
+	l.appendedBytes.Add(n)
+	if l.opts.SyncEach {
+		err := l.writeLocked()
+		l.mu.Unlock()
+		return nil, err
+	}
+	var b *batch
+	if want {
+		if l.cur == nil {
+			l.cur = &batch{done: make(chan struct{})}
+		}
+		b = l.cur
+	}
+	// Wake the flusher when the buffer goes non-empty (it arms the
+	// group-commit window) and again when the byte threshold demands an
+	// early flush. The kick channel has capacity 1, so signals coalesce.
+	kickNow := start == 0 || len(l.buf) >= l.opts.FlushBytes
+	l.mu.Unlock()
+	if kickNow {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return b, nil
+}
+
+// Sync flushes everything pending and blocks until it is durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if l.opts.SyncEach {
+		err := l.writeLocked()
+		l.mu.Unlock()
+		return err
+	}
+	if l.cur == nil {
+		l.cur = &batch{done: make(chan struct{})}
+	}
+	b := l.cur
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	<-b.done
+	return b.err
+}
+
+// Reset truncates the log to empty — called after a snapshot has been
+// made durable, while the engine is quiesced (no appender may be
+// concurrent with Reset; the engine guarantees this by holding every
+// admission gate). Any straggling pending bytes are written and synced
+// first so nothing is silently discarded.
+func (l *Log) Reset() error {
+	if !l.opts.SyncEach {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.buf) > 0 {
+		if err := l.writeLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.err = fmt.Errorf("wal: truncating log: %w", err)
+		return l.err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: rewinding log: %w", err)
+		return l.err
+	}
+	l.size = 0
+	l.resets.Add(1)
+	return nil
+}
+
+// Close flushes and fsyncs everything pending, resolves outstanding
+// commit waiters, and closes the file. Subsequent appends fail with
+// ErrClosed. It returns the sticky I/O error, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if !l.opts.SyncEach {
+		close(l.quit)
+	}
+	<-l.done // flusher performed its final flush and exited
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if len(l.buf) > 0 {
+		err = l.writeLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Size reports the bytes appended since Open or the last Reset (durable
+// plus pending) — the quantity the engine's snapshotter thresholds on.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records:       l.records.Load(),
+		AppendedBytes: l.appendedBytes.Load(),
+		FlushedBytes:  l.flushedBytes.Load(),
+		Batches:       l.batches.Load(),
+		Syncs:         l.syncs.Load(),
+		CommitWaits:   l.commitWaits.Load(),
+		Resets:        l.resets.Load(),
+		Dropped:       l.dropped.Load(),
+	}
+}
+
+// flusher is the group-commit loop: woken by the first record of a batch
+// (or an early-flush kick), it optionally holds the batch open for
+// FlushInterval, then writes and fsyncs the whole buffer and resolves
+// the batch's waiters together.
+func (l *Log) flusher() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.quit:
+			l.flushOnce()
+			return
+		case <-l.kick:
+		}
+		if w := l.opts.FlushInterval; w > 0 {
+			timer := time.NewTimer(w)
+			select {
+			case <-timer.C:
+			case <-l.quit:
+				timer.Stop()
+				l.flushOnce()
+				return
+			}
+		}
+		l.flushOnce()
+	}
+}
+
+// flushOnce swaps out the pending buffer and current batch, writes and
+// fsyncs outside the lock, and resolves the batch.
+func (l *Log) flushOnce() {
+	l.mu.Lock()
+	buf, b := l.buf, l.cur
+	l.buf, l.spare = l.spare[:0], nil
+	l.cur = nil
+	err := l.err
+	l.mu.Unlock()
+	if len(buf) == 0 && b == nil {
+		l.mu.Lock()
+		l.spare = buf
+		l.mu.Unlock()
+		return
+	}
+	if err == nil {
+		err = l.writeAndSync(buf)
+	}
+	if b != nil {
+		b.err = err
+		close(b.done)
+	}
+	l.mu.Lock()
+	if err != nil && l.err == nil {
+		l.err = err
+	}
+	l.spare = buf[:0]
+	l.mu.Unlock()
+}
+
+// writeAndSync writes buf to the file and fsyncs (unless NoSync).
+func (l *Log) writeAndSync(buf []byte) error {
+	if len(buf) > 0 {
+		if _, err := l.f.Write(buf); err != nil {
+			return fmt.Errorf("wal: writing log: %w", err)
+		}
+		l.flushedBytes.Add(int64(len(buf)))
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing log: %w", err)
+		}
+		l.syncs.Add(1)
+	}
+	l.batches.Add(1)
+	return nil
+}
+
+// writeLocked writes and syncs the pending buffer inline (SyncEach mode,
+// Reset, and Close residue). Caller holds l.mu.
+func (l *Log) writeLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	err := l.writeAndSync(l.buf)
+	l.buf = l.buf[:0]
+	if err != nil {
+		l.err = err
+	}
+	return err
+}
+
+// Replay reads records from r, calling apply for each valid one in log
+// order, until the stream ends. valid is the byte offset of the end of
+// the last fully valid record — the size the caller should truncate the
+// file to before appending (Open does it). torn reports whether trailing
+// bytes were discarded: a severed final frame, an implausible length, a
+// CRC mismatch, or an undecodable record all end replay cleanly there.
+// err is non-nil only for apply errors and reader failures other than
+// EOF; corruption is never an error, because a crash can manufacture it.
+func Replay(r io.Reader, apply func(Record) error) (valid int64, records int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var header [frameHeader]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		_, herr := io.ReadFull(br, header[:])
+		if herr == io.EOF {
+			return valid, records, false, nil
+		}
+		if herr == io.ErrUnexpectedEOF {
+			return valid, records, true, nil
+		}
+		if herr != nil {
+			return valid, records, false, fmt.Errorf("wal: reading log: %w", herr)
+		}
+		n := binary.BigEndian.Uint32(header[:4])
+		sum := binary.BigEndian.Uint32(header[4:])
+		if n > MaxRecord {
+			return valid, records, true, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, perr := io.ReadFull(br, payload); perr != nil {
+			if perr == io.EOF || perr == io.ErrUnexpectedEOF {
+				return valid, records, true, nil
+			}
+			return valid, records, false, fmt.Errorf("wal: reading log: %w", perr)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return valid, records, true, nil
+		}
+		rec, derr := DecodeRecord(payload)
+		if derr != nil {
+			return valid, records, true, nil
+		}
+		if err := apply(rec); err != nil {
+			return valid, records, false, err
+		}
+		valid += int64(frameHeader) + int64(n)
+		records++
+	}
+}
+
+// Persister adapts a Log to the store's durability hook
+// (mvstore.Persister): installs, aborts, and prunes are enqueued without
+// waiting — they are advisory until a commit marker follows — while
+// commit markers return the group-commit wait the engine blocks on
+// before acknowledging. Append errors on the advisory records are
+// deliberately dropped: once the log is closed or failed, the next
+// commit marker surfaces the condition where it matters.
+type Persister struct {
+	Log *Log
+}
+
+// PersistInstall implements mvstore.Persister.
+func (p *Persister) PersistInstall(g schema.GranuleID, ts vclock.Time, value []byte) {
+	p.Log.Append(&Record{Kind: KindWrite, Txn: ts, Seg: g.Segment, Key: g.Key, Value: value})
+}
+
+// PersistAbort implements mvstore.Persister.
+func (p *Persister) PersistAbort(g schema.GranuleID, ts vclock.Time) {
+	p.Log.Append(&Record{Kind: KindAbort, Txn: ts, Seg: g.Segment, Key: g.Key})
+}
+
+// PersistCommit implements mvstore.Persister.
+func (p *Persister) PersistCommit(ts vclock.Time) func() error {
+	return p.Log.Commit(&Record{Kind: KindCommit, Txn: ts})
+}
+
+// PersistPrune implements mvstore.Persister.
+func (p *Persister) PersistPrune(watermark vclock.Time) {
+	p.Log.Append(&Record{Kind: KindPrune, Watermark: watermark})
+}

@@ -1,0 +1,369 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd/internal/vclock"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindWrite, Txn: 7, Seg: 3, Key: 42, Value: []byte("hello")},
+		{Kind: KindWrite, Txn: 7, Seg: 0, Key: 0, Value: nil},
+		{Kind: KindCommit, Txn: 7},
+		{Kind: KindAbort, Txn: 9, Seg: 1, Key: 5},
+		{Kind: KindPrune, Watermark: 6},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range sampleRecords() {
+		payload := AppendRecord(nil, &r)
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%v): %v", r.Kind, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip %v: got %+v, want %+v", r.Kind, got, r)
+		}
+		re := AppendRecord(nil, &got)
+		if !bytes.Equal(re, payload) {
+			t.Errorf("%v: re-encode differs from original payload", r.Kind)
+		}
+	}
+}
+
+func TestDecodeRecordRejects(t *testing.T) {
+	commit := AppendRecord(nil, &Record{Kind: KindCommit, Txn: 1})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"unknown kind":   {99, 0, 0},
+		"truncated":      commit[:len(commit)-1],
+		"trailing bytes": append(append([]byte(nil), commit...), 0),
+		"short write":    {byte(KindWrite), 1, 2, 3},
+		"value length mismatch": func() []byte {
+			p := AppendRecord(nil, &Record{Kind: KindWrite, Txn: 1, Seg: 1, Key: 1, Value: []byte("ab")})
+			return p[:len(p)-1]
+		}(),
+	}
+	for name, p := range cases {
+		if _, err := DecodeRecord(p); err == nil {
+			t.Errorf("%s: DecodeRecord accepted invalid payload", name)
+		}
+	}
+}
+
+// appendAll writes records through a fresh log and returns the file path.
+func appendAll(t *testing.T, recs []Record, opts Options) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if recs[i].Kind == KindCommit {
+			if err := l.Commit(&recs[i])(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		} else if err := l.Append(&recs[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+func replayFile(t *testing.T, path string) (recs []Record, valid int64, torn bool) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	valid, n, torn, err := Replay(f, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if int(n) != len(recs) {
+		t.Fatalf("Replay reported %d records, applied %d", n, len(recs))
+	}
+	return recs, valid, torn
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	want := sampleRecords()
+	path := appendAll(t, want, Options{NoSync: true})
+	got, valid, torn := replayFile(t, path)
+	if torn {
+		t.Error("clean log reported torn")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != fi.Size() {
+		t.Errorf("valid offset %d != file size %d", valid, fi.Size())
+	}
+}
+
+func TestTornTailTruncatesCleanly(t *testing.T) {
+	want := sampleRecords()
+	path := appendAll(t, want, Options{NoSync: true})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever the file at every possible byte boundary inside the last
+	// record; replay must recover exactly the prefix records, report torn
+	// (except at the clean boundary), and never error.
+	recs, _, _ := replayFile(t, path)
+	if len(recs) != len(want) {
+		t.Fatalf("setup: replayed %d records, want %d", len(recs), len(want))
+	}
+	for cut := 0; cut <= len(whole); cut++ {
+		torn := os.WriteFile(path, whole[:cut], 0o644)
+		if torn != nil {
+			t.Fatal(torn)
+		}
+		got, valid, tornFlag := replayFile(t, path)
+		if valid > int64(cut) {
+			t.Fatalf("cut %d: valid offset %d beyond file size", cut, valid)
+		}
+		// torn is reported exactly when the cut is not a frame boundary.
+		if wantTorn := !containsBoundary(whole, cut); tornFlag != wantTorn {
+			t.Fatalf("cut %d: torn = %v, want %v", cut, tornFlag, wantTorn)
+		}
+		// Re-open at the valid offset and confirm the truncated file
+		// replays clean with the same records.
+		l, err := Open(path, valid, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		got2, valid2, torn2 := replayFile(t, path)
+		if torn2 {
+			t.Fatalf("cut %d: truncated log still torn", cut)
+		}
+		if valid2 != valid {
+			t.Fatalf("cut %d: valid offset changed %d -> %d after truncate", cut, valid, valid2)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatalf("cut %d: records changed after truncate", cut)
+		}
+	}
+}
+
+// containsBoundary reports whether offset cut is a frame boundary of the
+// encoded stream.
+func containsBoundary(stream []byte, cut int) bool {
+	off := 0
+	for off < len(stream) {
+		if off == cut {
+			return true
+		}
+		n := int(uint32(stream[off])<<24 | uint32(stream[off+1])<<16 | uint32(stream[off+2])<<8 | uint32(stream[off+3]))
+		off += frameHeader + n
+	}
+	return off == cut
+}
+
+func TestCorruptCRCEndsReplay(t *testing.T) {
+	want := sampleRecords()
+	path := appendAll(t, want, Options{NoSync: true})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle record: replay keeps everything
+	// before it and reports torn.
+	var off int
+	for i := 0; i < 2; i++ {
+		n := int(uint32(whole[off])<<24 | uint32(whole[off+1])<<16 | uint32(whole[off+2])<<8 | uint32(whole[off+3]))
+		off += frameHeader + n
+	}
+	corrupt := append([]byte(nil), whole...)
+	corrupt[off+frameHeader] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, valid, torn := replayFile(t, path)
+	if !torn {
+		t.Error("corrupt CRC not reported as torn")
+	}
+	if valid != int64(off) {
+		t.Errorf("valid offset %d, want %d", valid, off)
+	}
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Errorf("replayed %+v, want prefix %+v", got, want[:2])
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{FlushInterval: 5 * time.Millisecond, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Commit(&Record{Kind: KindCommit, Txn: vclock.Time(i + 1)})()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Records != n {
+		t.Errorf("Records = %d, want %d", st.Records, n)
+	}
+	if st.Batches >= n {
+		t.Errorf("Batches = %d: group commit did not batch %d concurrent commits", st.Batches, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayFile(t, path)
+	if torn || len(recs) != n {
+		t.Errorf("replayed %d records (torn=%v), want %d clean", len(recs), torn, n)
+	}
+}
+
+func TestSyncEachSyncsPerCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{SyncEach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := l.Commit(&Record{Kind: KindCommit, Txn: vclock.Time(i + 1)})(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Syncs != n {
+		t.Errorf("Syncs = %d, want %d (one per commit)", st.Syncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayFile(t, path)
+	if torn || len(recs) != n {
+		t.Errorf("replayed %d records (torn=%v), want %d clean", len(recs), torn, n)
+	}
+}
+
+func TestResetTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(&Record{Kind: KindCommit, Txn: 1})(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() == 0 {
+		t.Fatal("Size 0 after append")
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := l.Size(); got != 0 {
+		t.Errorf("Size = %d after Reset, want 0", got)
+	}
+	// The log stays usable after Reset.
+	if err := l.Commit(&Record{Kind: KindCommit, Txn: 2})(); err != nil {
+		t.Fatalf("commit after Reset: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayFile(t, path)
+	if torn || len(recs) != 1 || recs[0].Txn != 2 {
+		t.Errorf("after Reset replayed %+v (torn=%v), want single commit txn 2", recs, torn)
+	}
+	if st := l.Stats(); st.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestClosedLogDropsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindPrune, Watermark: 1}); err != ErrClosed {
+		t.Errorf("Append after Close: err = %v, want ErrClosed", err)
+	}
+	if err := l.Commit(&Record{Kind: KindCommit, Txn: 1})(); err != ErrClosed {
+		t.Errorf("Commit after Close: err = %v, want ErrClosed", err)
+	}
+	if st := l.Stats(); st.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	want := sampleRecords()
+	path := appendAll(t, want, Options{NoSync: true})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the final frame, then do what recovery does:
+	// replay, then Open at the reported valid offset and append more.
+	if err := os.WriteFile(path, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, valid, torn := replayFile(t, path)
+	if !torn {
+		t.Fatal("torn tail not detected")
+	}
+	l, err := Open(path, valid, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(&Record{Kind: KindCommit, Txn: 99})(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn2 := replayFile(t, path)
+	if torn2 {
+		t.Error("log torn after truncate+append")
+	}
+	wantN := len(want) - 1 + 1 // lost the severed final record, gained txn 99
+	if len(recs) != wantN || recs[len(recs)-1].Txn != 99 {
+		t.Errorf("replayed %d records ending %+v, want %d ending txn 99", len(recs), recs[len(recs)-1], wantN)
+	}
+}
