@@ -100,6 +100,10 @@ func (e *Engine) initDurability(cfg Config) error {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return fmt.Errorf("core: creating data dir: %w", err)
 	}
+	// Make the data directory's own entry durable in case MkdirAll just
+	// created it. Best-effort: the parent may not be openable (and on an
+	// existing deployment there is nothing to persist).
+	syncDir(filepath.Dir(cfg.DataDir))
 	d := &durability{dataDir: cfg.DataDir, snapshotBytes: cfg.SnapshotBytes}
 	if d.snapshotBytes == 0 {
 		d.snapshotBytes = 8 << 20
@@ -150,6 +154,14 @@ func (e *Engine) initDurability(cfg Config) error {
 		return err
 	}
 	d.log = log
+	// A freshly created wal.log is only durable once its directory entry
+	// is: without this fsync, a first-boot crash could drop the file —
+	// and every acknowledged commit in it — even though the file's own
+	// contents were fsynced. Must happen before any commit can be acked.
+	if err := syncDir(cfg.DataDir); err != nil {
+		log.Close()
+		return fmt.Errorf("core: syncing data dir: %w", err)
+	}
 	d.persist = &wal.Persister{Log: log}
 	e.store.SetPersister(d.persist)
 
@@ -256,10 +268,12 @@ func (e *Engine) Snapshot() error {
 		return fmt.Errorf("core: publishing snapshot: %w", err)
 	}
 	// Sync the directory so the rename itself is durable before the log
-	// contents it supersedes are dropped.
-	if dirf, err := os.Open(e.dur.dataDir); err == nil {
-		dirf.Sync()
-		dirf.Close()
+	// contents it supersedes are dropped. A failure here must skip the
+	// reset: truncating the log while the snapshot's directory entry may
+	// not survive a crash would lose committed state.
+	if err := syncDir(e.dur.dataDir); err != nil {
+		e.dur.snapshotErrs.Add(1)
+		return fmt.Errorf("core: syncing data dir after snapshot publish: %w", err)
 	}
 	if err := e.dur.log.Reset(); err != nil {
 		e.dur.snapshotErrs.Add(1)
@@ -267,6 +281,20 @@ func (e *Engine) Snapshot() error {
 	}
 	e.dur.snapshots.Add(1)
 	return nil
+}
+
+// syncDir fsyncs a directory so the entries created or renamed in it
+// survive a crash.
+func syncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (e *Engine) writeSnapshotFile(path string) error {

@@ -7,7 +7,9 @@ package core
 import "hdd/internal/vclock"
 
 // maybeGC runs store GC and activity pruning when the commit counter
-// crosses the configured period.
+// crosses the configured period. The caller must hold an admission-gate
+// share (updateTxn.Commit calls it before exitUpdate) so the prune's WAL
+// append cannot race a snapshot's log reset.
 func (e *Engine) maybeGC() {
 	if e.gcEvery <= 0 {
 		return
@@ -38,6 +40,13 @@ func (e *Engine) GCRuns() int64 { return e.gcRuns.Load() }
 // ForceGC runs one GC cycle immediately with a freshly computed watermark
 // and returns the number of store versions pruned.
 func (e *Engine) ForceGC() int {
+	// Hold one admission-gate share for the duration: Snapshot quiesces by
+	// taking every gate exclusively before resetting the WAL, so a single
+	// share keeps this cycle's PersistPrune append from racing the reset.
+	if len(e.gate.classes) > 0 {
+		e.gate.classes[0].RLock()
+		defer e.gate.classes[0].RUnlock()
+	}
 	watermark := e.gcWatermark()
 	pruned := e.store.GC(watermark)
 	e.act.PruneBefore(watermark)

@@ -242,7 +242,10 @@ func (t *updateTxn) Write(g schema.GranuleID, value []byte) error {
 // the order recovery needs (DESIGN.md §10.3). The wait for the marker's
 // flush batch happens last, after every in-memory release (gate share,
 // registry, wall poll), so a quiescing snapshot or another committer is
-// never blocked behind this transaction's fsync.
+// never blocked behind this transaction's fsync. The flip-before-durable
+// order does let a read-only transaction observe data whose commit is
+// later lost in a crash — the accepted read-side anomaly DESIGN.md §10.3
+// documents.
 func (t *updateTxn) Commit() error {
 	e := t.eng
 	t.mu.Lock()
@@ -262,11 +265,15 @@ func (t *updateTxn) Commit() error {
 	at := e.act.FinishTxn(int(t.class), t.init, e.clock, false)
 	t.mu.Unlock()
 	e.live.unregister(t.init)
-	e.exitUpdate(t.class)
 	e.ctr.Commits.Add(1)
 	e.rec.RecordCommit(t.init, at)
 	e.walls.Poll()
+	// GC — and its PersistPrune log append — runs while this transaction
+	// still holds its admission-gate share: a snapshot's quiesce
+	// (gate.lockAll) cannot complete mid-GC, so a prune record can never
+	// race the post-snapshot log reset.
 	e.maybeGC()
+	e.exitUpdate(t.class)
 	if wait != nil {
 		if err := wait(); err != nil {
 			return fmt.Errorf("core: commit %d applied in memory but not durable: %w", t.init, err)

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,16 +28,21 @@ import (
 // commits that arrived while the previous one was in flight (the DGCC
 // observation: keep the commit hot path off the log's critical section).
 //
-// Batching is driven three ways:
+// Batching is driven four ways:
 //
 //   - backpressure (always): records arriving while a flush is in
 //     progress pile into the next batch, so batch size adapts to fsync
 //     latency with no tuning;
-//   - FlushInterval: with a positive interval the flusher waits that
-//     long after a batch opens before flushing, trading commit latency
-//     for larger batches;
+//   - the adaptive window (default): once a batch resolves multiple
+//     waiters, the next batch is held open — a spin-yield bounded by
+//     half the last flush's duration — until the committer cohort
+//     re-forms, so an eager swap never splits it across two fsyncs;
+//     an uncontended log still flushes immediately;
+//   - FlushInterval: with a positive interval the flusher instead waits
+//     that fixed time after a batch opens before flushing, trading
+//     commit latency for larger batches;
 //   - FlushBytes: a batch that grows past this threshold is flushed
-//     early regardless of the interval.
+//     early, cutting either window short.
 //
 // Ack order vs flush order: a waiter is only released after *its* batch
 // — which contains its marker and every record appended before it — is
@@ -54,15 +60,22 @@ var ErrClosed = errors.New("wal: log closed")
 type Options struct {
 	// FlushInterval is the group-commit window: how long the flusher
 	// waits after a batch opens before flushing it, so concurrent
-	// committers can share the fsync. 0 flushes as soon as the flusher
-	// wakes; batching then comes only from fsync backpressure.
+	// committers can share the fsync. 0 (the default) is adaptive: an
+	// uncontended log flushes as soon as the flusher wakes, but once a
+	// batch resolves more than one waiter the next batch is held open
+	// for half the last flush's duration — long enough for the
+	// just-acked committers to re-arrive and share the next fsync,
+	// short enough that commit latency grows by at most ~50%.
 	FlushInterval time.Duration
 	// FlushBytes flushes a batch early once this many bytes are pending,
 	// bounding buffered memory under write bursts. Defaults to 256 KiB.
 	FlushBytes int
-	// SyncEach makes every commit write and fsync its own records inline,
-	// serialized — the per-commit-fsync baseline the group-commit
-	// benchmark compares against. No flusher goroutine runs.
+	// SyncEach is the per-commit-fsync baseline the group-commit
+	// benchmark compares against: no flusher goroutine runs, appends only
+	// buffer (the Persister contract requires non-blocking enqueues), and
+	// each commit's wait function performs a serialized write+fsync —
+	// always paying its own fsync, so concurrent committers never share
+	// one.
 	SyncEach bool
 	// NoSync skips fsync entirely (write-only durability, for tests and
 	// for measuring the non-sync cost of logging).
@@ -108,6 +121,20 @@ type Log struct {
 	closed bool
 	err    error // sticky I/O error; fails all subsequent commits
 
+	// ioMu serializes file I/O: the flusher's write+fsync (which runs
+	// outside mu) against Reset's truncate. Without it an in-flight Write
+	// could interleave with Truncate(0)+Seek(0) and leave a zero-filled
+	// hole at the head of the log — zeros decode as a CRC-valid empty
+	// frame, so Replay would stop at offset 0 and silently discard every
+	// later record. Lock order: mu before ioMu, never the reverse.
+	ioMu sync.Mutex
+
+	// lastWaiters and lastFlush feed the adaptive group-commit window
+	// (groupWindow): how many waiters the last flushed batch resolved and
+	// how long its write+fsync took. Guarded by mu.
+	lastWaiters int
+	lastFlush   time.Duration
+
 	kick chan struct{} // capacity 1: data pending / flush requested
 	quit chan struct{}
 	done chan struct{} // flusher exited
@@ -118,10 +145,12 @@ type Log struct {
 }
 
 // batch is one group-commit unit: every waiter attached to it resolves
-// together when its bytes are durable (or the flush fails).
+// together when its bytes are durable (or the flush fails). waiters is
+// maintained under Log.mu and read by the flusher after the swap.
 type batch struct {
-	done chan struct{}
-	err  error
+	done    chan struct{}
+	waiters int
+	err     error
 }
 
 // Open opens (creating if absent) the log at path for appending,
@@ -172,9 +201,10 @@ func (l *Log) Append(r *Record) error {
 }
 
 // Commit enqueues one record and returns a wait function that blocks
-// until the record's flush batch is durable, returning the batch's
-// error. The wait function must be called without holding engine locks
-// that a flush could need (it only blocks on the flusher).
+// until the record is durable, returning the flush error. The wait
+// function must be called without holding engine locks that a flush
+// could need (it blocks on the flusher — or, in SyncEach mode, performs
+// the serialized write+fsync itself).
 func (l *Log) Commit(r *Record) func() error {
 	l.commitWaits.Add(1)
 	b, err := l.append(r, true)
@@ -182,8 +212,24 @@ func (l *Log) Commit(r *Record) func() error {
 		return func() error { return err }
 	}
 	if b == nil {
-		// SyncEach already made it durable inline.
-		return func() error { return nil }
+		// SyncEach: the marker is buffered; the wait performs the
+		// serialized inline write+fsync, so the fsync is paid where the
+		// caller chose to block, not inside the enqueue.
+		return func() error {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			if l.err != nil {
+				return l.err
+			}
+			if l.closed {
+				// Close already flushed and fsynced everything buffered.
+				return nil
+			}
+			// writeAndSync fsyncs even when the buffer is empty (another
+			// wait may have written our marker already): every commit pays
+			// its own fsync, keeping the baseline honestly per-commit.
+			return l.writeLocked()
+		}
 	}
 	return func() error {
 		<-b.done
@@ -213,9 +259,11 @@ func (l *Log) append(r *Record, want bool) (*batch, error) {
 	l.records.Add(1)
 	l.appendedBytes.Add(n)
 	if l.opts.SyncEach {
-		err := l.writeLocked()
+		// Buffer only — advisory records are enqueued under store chain
+		// locks and must not block on I/O; commit markers flush in the
+		// wait function Commit returns.
 		l.mu.Unlock()
-		return nil, err
+		return nil, nil
 	}
 	var b *batch
 	if want {
@@ -223,6 +271,7 @@ func (l *Log) append(r *Record, want bool) (*batch, error) {
 			l.cur = &batch{done: make(chan struct{})}
 		}
 		b = l.cur
+		b.waiters++
 	}
 	// Wake the flusher when the buffer goes non-empty (it arms the
 	// group-commit window) and again when the byte threshold demands an
@@ -259,6 +308,7 @@ func (l *Log) Sync() error {
 		l.cur = &batch{done: make(chan struct{})}
 	}
 	b := l.cur
+	b.waiters++
 	l.mu.Unlock()
 	select {
 	case l.kick <- struct{}{}:
@@ -269,12 +319,17 @@ func (l *Log) Sync() error {
 }
 
 // Reset truncates the log to empty — called after a snapshot has been
-// made durable, while the engine is quiesced (no appender may be
-// concurrent with Reset; the engine guarantees this by holding every
-// admission gate). Any straggling pending bytes are written and synced
-// first so nothing is silently discarded.
+// made durable. Commit markers must not race Reset (the engine
+// guarantees this by holding every admission gate, which every marker
+// producer shares). Racing advisory appends are tolerated: the truncate
+// is serialized against the flusher's file I/O via ioMu, so it can never
+// interleave with a buffer write and tear the log head, and records
+// still in the in-memory buffer are carried over and flushed into the
+// fresh log rather than dropped.
 func (l *Log) Reset() error {
 	if !l.opts.SyncEach {
+		// Complete any in-flight batch first so its bytes land at the old
+		// offsets (about to be truncated) rather than after the rewind.
 		if err := l.Sync(); err != nil {
 			return err
 		}
@@ -284,20 +339,25 @@ func (l *Log) Reset() error {
 	if l.closed {
 		return ErrClosed
 	}
-	if len(l.buf) > 0 {
-		if err := l.writeLocked(); err != nil {
-			return err
-		}
-	}
-	if err := l.f.Truncate(0); err != nil {
-		l.err = fmt.Errorf("wal: truncating log: %w", err)
+	if l.err != nil {
 		return l.err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		l.err = fmt.Errorf("wal: rewinding log: %w", err)
+	l.ioMu.Lock()
+	terr := l.f.Truncate(0)
+	var serr error
+	if terr == nil {
+		_, serr = l.f.Seek(0, io.SeekStart)
+	}
+	l.ioMu.Unlock()
+	if terr != nil {
+		l.err = fmt.Errorf("wal: truncating log: %w", terr)
 		return l.err
 	}
-	l.size = 0
+	if serr != nil {
+		l.err = fmt.Errorf("wal: rewinding log: %w", serr)
+		return l.err
+	}
+	l.size = int64(len(l.buf))
 	l.resets.Add(1)
 	return nil
 }
@@ -356,9 +416,11 @@ func (l *Log) Stats() Stats {
 }
 
 // flusher is the group-commit loop: woken by the first record of a batch
-// (or an early-flush kick), it optionally holds the batch open for
-// FlushInterval, then writes and fsyncs the whole buffer and resolves
-// the batch's waiters together.
+// (or an early-flush kick), it optionally holds the batch open — for the
+// configured FlushInterval, or for the adaptive window when none is set
+// — then writes and fsyncs the whole buffer and resolves the batch's
+// waiters together. A batch that crosses FlushBytes cuts the window
+// short.
 func (l *Log) flusher() {
 	defer close(l.done)
 	for {
@@ -370,16 +432,88 @@ func (l *Log) flusher() {
 		}
 		if w := l.opts.FlushInterval; w > 0 {
 			timer := time.NewTimer(w)
-			select {
-			case <-timer.C:
-			case <-l.quit:
-				timer.Stop()
-				l.flushOnce()
-				return
+		window:
+			for {
+				select {
+				case <-timer.C:
+					break window
+				case <-l.kick:
+					// A kick mid-window is only decisive when the byte
+					// threshold demands an early flush; otherwise the batch
+					// keeps filling until the window closes.
+					if l.pendingLen() >= l.opts.FlushBytes {
+						timer.Stop()
+						break window
+					}
+				case <-l.quit:
+					timer.Stop()
+					l.flushOnce()
+					return
+				}
+			}
+		} else if w := l.groupWindow(); w > 0 {
+			// The adaptive window is tens of microseconds — timers at that
+			// scale overshoot to ~1ms on most kernels, which would pin
+			// commit latency at the timer floor. Spin-yield instead,
+			// leaving as soon as the cohort has re-formed (the open batch
+			// carries as many waiters as the last one), the byte threshold
+			// trips, or the window elapses.
+			deadline := time.Now().Add(w)
+			for !l.cohortReady() && time.Now().Before(deadline) {
+				select {
+				case <-l.quit:
+					l.flushOnce()
+					return
+				default:
+				}
+				runtime.Gosched()
 			}
 		}
 		l.flushOnce()
 	}
+}
+
+// cohortReady reports whether the open batch already carries at least as
+// many waiters as the last flushed batch resolved, or has crossed the
+// byte threshold — either way, holding the window open longer buys
+// nothing.
+func (l *Log) cohortReady() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := 0
+	if l.cur != nil {
+		cur = l.cur.waiters
+	}
+	return cur >= l.lastWaiters || len(l.buf) >= l.opts.FlushBytes
+}
+
+// groupWindow is the adaptive group-commit window used when no explicit
+// FlushInterval is configured. An uncontended log (the last batch
+// resolved at most one waiter) flushes immediately, so an idle or
+// single-committer log pays no added latency. Once batches resolve
+// multiple waiters, the next batch is held open for half the last
+// flush's duration: the committers just acked need roughly a scheduling
+// quantum to re-arrive, and without the window the flusher would swap
+// the buffer after the first arrival, splitting the cohort across two
+// fsyncs and halving the amortization.
+func (l *Log) groupWindow() time.Duration {
+	l.mu.Lock()
+	waiters, last := l.lastWaiters, l.lastFlush
+	l.mu.Unlock()
+	if waiters < 2 {
+		return 0
+	}
+	if w := last / 2; w < time.Millisecond {
+		return w
+	}
+	return time.Millisecond
+}
+
+// pendingLen reports the bytes currently buffered.
+func (l *Log) pendingLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
 }
 
 // flushOnce swaps out the pending buffer and current batch, writes and
@@ -397,9 +531,11 @@ func (l *Log) flushOnce() {
 		l.mu.Unlock()
 		return
 	}
+	start := time.Now()
 	if err == nil {
 		err = l.writeAndSync(buf)
 	}
+	took := time.Since(start)
 	if b != nil {
 		b.err = err
 		close(b.done)
@@ -408,12 +544,21 @@ func (l *Log) flushOnce() {
 	if err != nil && l.err == nil {
 		l.err = err
 	}
+	l.lastFlush = took
+	l.lastWaiters = 0
+	if b != nil {
+		l.lastWaiters = b.waiters
+	}
 	l.spare = buf[:0]
 	l.mu.Unlock()
 }
 
-// writeAndSync writes buf to the file and fsyncs (unless NoSync).
+// writeAndSync writes buf to the file and fsyncs (unless NoSync). An
+// empty buf still fsyncs — SyncEach commit waits rely on that. File I/O
+// is serialized against Reset's truncate via ioMu.
 func (l *Log) writeAndSync(buf []byte) error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	if len(buf) > 0 {
 		if _, err := l.f.Write(buf); err != nil {
 			return fmt.Errorf("wal: writing log: %w", err)

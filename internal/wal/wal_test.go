@@ -278,6 +278,89 @@ func TestSyncEachSyncsPerCommit(t *testing.T) {
 	}
 }
 
+func TestSyncEachBuffersAdvisoryRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{SyncEach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advisory records are enqueued under store chain locks; they must
+	// buffer without touching the file.
+	if err := l.Append(&Record{Kind: KindWrite, Txn: 1, Seg: 0, Key: 1, Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindAbort, Txn: 2, Seg: 0, Key: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Errorf("Syncs = %d after advisory appends, want 0 (must buffer)", st.Syncs)
+	}
+	// The commit enqueue itself must not fsync either — only its wait.
+	wait := l.Commit(&Record{Kind: KindCommit, Txn: 1})
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Errorf("Syncs = %d after commit enqueue, want 0 (fsync belongs to the wait)", st.Syncs)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("commit wait: %v", err)
+	}
+	if st := l.Stats(); st.Syncs != 1 {
+		t.Errorf("Syncs = %d after commit wait, want 1", st.Syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayFile(t, path)
+	if torn || len(recs) != 3 {
+		t.Errorf("replayed %d records (torn=%v), want 3 clean", len(recs), torn)
+	}
+}
+
+func TestResetDoesNotTearLogHead(t *testing.T) {
+	// Advisory appends racing Reset must never interleave a buffer flush
+	// with the truncate: a zero-filled hole at the head of the log would
+	// decode as a torn tail at offset 0 and discard everything after it.
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, -1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					l.Append(&Record{Kind: KindPrune, Watermark: 1})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if err := l.Reset(); err != nil {
+			t.Fatalf("Reset %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, torn := replayFile(t, path)
+	if torn {
+		t.Fatal("log torn after Reset raced concurrent appends")
+	}
+	for _, r := range recs {
+		if r.Kind != KindPrune || r.Watermark != 1 {
+			t.Fatalf("corrupt record survived Reset race: %+v", r)
+		}
+	}
+}
+
 func TestResetTruncates(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	l, err := Open(path, -1, Options{NoSync: true})
