@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest recovery-smoke fuzz-wal
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke
 
 all: build vet test
 
@@ -70,6 +70,21 @@ FUZZTIME ?= 10s
 fuzz-wal:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME)
+
+# Fixed-budget fuzz of the checkpoint decoder (corpus under
+# internal/mvstore/testdata runs on every `go test`).
+fuzz-checkpoint:
+	$(GO) test ./internal/mvstore/ -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
+
+# Crash-point torture: re-run the durability workload crashing at every
+# filesystem operation in turn, reboot, audit the recovery invariants.
+# See scripts/torture.sh and DESIGN.md §11.
+torture:
+	sh scripts/torture.sh full
+
+# Bounded random sample of the lattice under -race (the CI gate).
+torture-smoke:
+	sh scripts/torture.sh smoke
 
 # Paper-style experiment tables with shape checks.
 experiments:

@@ -186,28 +186,37 @@ func (c *Client) untrack(cn *conn) {
 	c.mu.Unlock()
 }
 
-// get pops a pooled connection or dials a fresh one.
+// get pops a pooled connection — health-checking it first, so a restarted
+// server never hands a caller a dead socket — or dials a fresh one.
 func (c *Client) get() (*conn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("client: closed")
-	}
-	if n := len(c.free); n > 0 {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("client: closed")
+		}
+		n := len(c.free)
+		if n == 0 {
+			c.mu.Unlock()
+			return c.dial()
+		}
 		cn := c.free[n-1]
 		c.free = c.free[:n-1]
 		c.mu.Unlock()
-		return cn, nil
+		if cn.healthy() {
+			return cn, nil
+		}
+		cn.close()
 	}
-	c.mu.Unlock()
-	return c.dial()
 }
 
-// put returns a healthy connection to the pool (closing it when the pool
-// is full or the client closed).
+// put returns a connection to the pool (closing it when it is broken, the
+// pool is full, or the client closed). The broken check is the pool-level
+// eviction guarantee: a conn that saw any wire or decode error can never
+// be handed out again, whatever the calling code path did with it.
 func (c *Client) put(cn *conn) {
 	c.mu.Lock()
-	if c.closed || len(c.free) >= c.opt.maxIdle {
+	if c.closed || cn.broken || len(c.free) >= c.opt.maxIdle {
 		c.mu.Unlock()
 		cn.close()
 		return

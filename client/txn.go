@@ -4,6 +4,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -24,6 +25,10 @@ type conn struct {
 	timeout time.Duration
 	rbuf    []byte
 	wbuf    []byte
+	// broken latches any wire/decode failure: the stream may be left
+	// mid-frame, so the conn must never re-enter the pool — Client.put
+	// closes it instead, whatever the calling code path did.
+	broken bool
 }
 
 func newConn(nc net.Conn, timeout time.Duration) *conn {
@@ -31,27 +36,52 @@ func newConn(nc net.Conn, timeout time.Duration) *conn {
 }
 
 // roundTrip sends one request and decodes its response. Any transport or
-// protocol error poisons the conn; callers must close it rather than pool
-// it.
+// protocol error marks the conn broken (Client.put then refuses to pool
+// it); callers should still close it promptly.
 func (cn *conn) roundTrip(req *wire.Request) (wire.Response, error) {
 	cn.nc.SetDeadline(time.Now().Add(cn.timeout))
 	cn.wbuf = wire.AppendRequest(cn.wbuf[:0], req)
 	if err := wire.WriteFrame(cn.bw, cn.wbuf); err != nil {
+		cn.broken = true
 		return wire.Response{}, fmt.Errorf("client: sending %v: %w", req.Op, err)
 	}
 	if err := cn.bw.Flush(); err != nil {
+		cn.broken = true
 		return wire.Response{}, fmt.Errorf("client: sending %v: %w", req.Op, err)
 	}
 	payload, err := wire.ReadFrame(cn.br, cn.rbuf)
 	if err != nil {
+		cn.broken = true
 		return wire.Response{}, fmt.Errorf("client: awaiting %v response: %w", req.Op, err)
 	}
 	cn.rbuf = payload[:cap(payload)]
 	resp, err := wire.DecodeResponse(req.Op, payload)
 	if err != nil {
+		// A decode failure is as fatal as a transport one: the stream can no
+		// longer be trusted to be frame-aligned.
+		cn.broken = true
 		return wire.Response{}, fmt.Errorf("client: %w", err)
 	}
 	return resp, nil
+}
+
+// healthy probes an idle connection for silent death (server restart, RST
+// from a middlebox): a one-byte read with an already-expired deadline
+// times out on a live idle socket, while a dead one returns EOF or a
+// reset immediately. Stray readable data on an idle conn is a protocol
+// violation and also counts as dead. One syscall, no round-trip.
+func (cn *conn) healthy() bool {
+	if cn.broken || cn.br.Buffered() > 0 {
+		return false
+	}
+	if err := cn.nc.SetReadDeadline(time.Now()); err != nil {
+		return false
+	}
+	var b [1]byte
+	_, err := cn.nc.Read(b[:])
+	cn.nc.SetReadDeadline(time.Time{})
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (cn *conn) close() {

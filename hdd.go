@@ -90,6 +90,14 @@ const (
 // against a closed engine is pointless.
 var ErrEngineClosed = cc.ErrEngineClosed
 
+// ErrDurabilityFailed marks a durable engine's fail-stop degraded mode: a
+// storage write or fsync failed, so commits can no longer be made durable
+// and the engine serves reads only until it is restarted against repaired
+// storage. It is not an abort — Run/RunCtx stop retrying when they see it
+// — and it arrives identically from the embedded engine and over the wire
+// (wire.StatusDurabilityFailed).
+var ErrDurabilityFailed = cc.ErrDurabilityFailed
+
 // NewPartition validates a hierarchical decomposition: one update class
 // per segment (class i rooted in segment i), with the induced data
 // hierarchy graph required to be a transitive semi-tree. See

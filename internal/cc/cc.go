@@ -114,6 +114,15 @@ var ErrTxnDone = errors.New("cc: transaction already finished")
 // an AbortError: retrying against a closed engine is pointless.
 var ErrEngineClosed = errors.New("cc: engine closed")
 
+// ErrDurabilityFailed marks the fail-stop state of a durable engine whose
+// storage failed (a write or fsync error on the log). The engine is
+// permanently degraded: the commit that hit the failure — and every queued
+// or subsequent commit — returns this error, and new update or ad-hoc
+// transactions are rejected with it, while read-only traffic keeps
+// serving. It is not an AbortError: retrying cannot succeed until the
+// process is restarted against repaired storage (DESIGN.md §11).
+var ErrDurabilityFailed = errors.New("cc: durability failed; engine is read-only")
+
 // Counters is the set of cumulative metrics every engine maintains. All
 // fields are sharded, cache-line-padded counters (see Counter) so engines
 // can update them from any goroutine without bouncing lines between cores;
@@ -151,6 +160,10 @@ type Counters struct {
 	// TimedOutReads counts blocked reads that gave up because the
 	// transaction's deadline expired before the pending version resolved.
 	TimedOutReads Counter
+	// DurabilityFailures counts commits (in-flight or queued) and begins
+	// failed with ErrDurabilityFailed after the storage layer poisoned the
+	// engine. Zero on healthy and memory-only engines.
+	DurabilityFailures Counter
 }
 
 // Stats is a plain snapshot of Counters.
@@ -164,45 +177,48 @@ type Stats struct {
 	WallWaits                     int64
 	ReapedTxns                    int64
 	TimedOutReads                 int64
+	DurabilityFailures            int64
 }
 
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() Stats {
 	return Stats{
-		Begins:            c.Begins.Load(),
-		Commits:           c.Commits.Load(),
-		Aborts:            c.Aborts.Load(),
-		Reads:             c.Reads.Load(),
-		Writes:            c.Writes.Load(),
-		ReadRegistrations: c.ReadRegistrations.Load(),
-		BlockedReads:      c.BlockedReads.Load(),
-		BlockedWrites:     c.BlockedWrites.Load(),
-		RejectedReads:     c.RejectedReads.Load(),
-		RejectedWrites:    c.RejectedWrites.Load(),
-		Deadlocks:         c.Deadlocks.Load(),
-		WallWaits:         c.WallWaits.Load(),
-		ReapedTxns:        c.ReapedTxns.Load(),
-		TimedOutReads:     c.TimedOutReads.Load(),
+		Begins:             c.Begins.Load(),
+		Commits:            c.Commits.Load(),
+		Aborts:             c.Aborts.Load(),
+		Reads:              c.Reads.Load(),
+		Writes:             c.Writes.Load(),
+		ReadRegistrations:  c.ReadRegistrations.Load(),
+		BlockedReads:       c.BlockedReads.Load(),
+		BlockedWrites:      c.BlockedWrites.Load(),
+		RejectedReads:      c.RejectedReads.Load(),
+		RejectedWrites:     c.RejectedWrites.Load(),
+		Deadlocks:          c.Deadlocks.Load(),
+		WallWaits:          c.WallWaits.Load(),
+		ReapedTxns:         c.ReapedTxns.Load(),
+		TimedOutReads:      c.TimedOutReads.Load(),
+		DurabilityFailures: c.DurabilityFailures.Load(),
 	}
 }
 
 // Sub returns s - o, for per-interval deltas.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Begins:            s.Begins - o.Begins,
-		Commits:           s.Commits - o.Commits,
-		Aborts:            s.Aborts - o.Aborts,
-		Reads:             s.Reads - o.Reads,
-		Writes:            s.Writes - o.Writes,
-		ReadRegistrations: s.ReadRegistrations - o.ReadRegistrations,
-		BlockedReads:      s.BlockedReads - o.BlockedReads,
-		BlockedWrites:     s.BlockedWrites - o.BlockedWrites,
-		RejectedReads:     s.RejectedReads - o.RejectedReads,
-		RejectedWrites:    s.RejectedWrites - o.RejectedWrites,
-		Deadlocks:         s.Deadlocks - o.Deadlocks,
-		WallWaits:         s.WallWaits - o.WallWaits,
-		ReapedTxns:        s.ReapedTxns - o.ReapedTxns,
-		TimedOutReads:     s.TimedOutReads - o.TimedOutReads,
+		Begins:             s.Begins - o.Begins,
+		Commits:            s.Commits - o.Commits,
+		Aborts:             s.Aborts - o.Aborts,
+		Reads:              s.Reads - o.Reads,
+		Writes:             s.Writes - o.Writes,
+		ReadRegistrations:  s.ReadRegistrations - o.ReadRegistrations,
+		BlockedReads:       s.BlockedReads - o.BlockedReads,
+		BlockedWrites:      s.BlockedWrites - o.BlockedWrites,
+		RejectedReads:      s.RejectedReads - o.RejectedReads,
+		RejectedWrites:     s.RejectedWrites - o.RejectedWrites,
+		Deadlocks:          s.Deadlocks - o.Deadlocks,
+		WallWaits:          s.WallWaits - o.WallWaits,
+		ReapedTxns:         s.ReapedTxns - o.ReapedTxns,
+		TimedOutReads:      s.TimedOutReads - o.TimedOutReads,
+		DurabilityFailures: s.DurabilityFailures - o.DurabilityFailures,
 	}
 }
 

@@ -156,6 +156,11 @@ func (e *Engine) beginAdHoc(writeSeg schema.SegmentID, reads []schema.SegmentID,
 	if err := e.closedErr(); err != nil {
 		return nil, err
 	}
+	// Fail-stop: like ordinary updates, ad-hoc transactions are rejected
+	// on a poisoned engine before they drain any gates.
+	if err := e.rejectDegraded(); err != nil {
+		return nil, err
+	}
 	var held []schema.ClassID
 	if declared {
 		held = e.conflictClasses(writeSeg, reads)
@@ -323,7 +328,7 @@ func (t *adhocTxn) Commit() error {
 	e.walls.Poll()
 	if wait != nil {
 		if err := wait(); err != nil {
-			return fmt.Errorf("core: commit %d applied in memory but not durable: %w", t.init, err)
+			return e.commitDurabilityErr(t.init, err)
 		}
 	}
 	return nil

@@ -19,9 +19,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hdd/internal/cc"
 	"hdd/internal/mvstore"
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
+	"hdd/internal/vfs"
 	"hdd/internal/wal"
 )
 
@@ -70,6 +72,11 @@ type DurabilityStats struct {
 	Snapshots    int64
 	SnapshotErrs int64
 	Recovery     RecoveryStats
+	// Degraded reports the fail-stop state: a storage failure poisoned the
+	// log and the engine is read-only (DESIGN.md §11). DegradedCause is the
+	// poisoning error's text, empty while healthy.
+	Degraded      bool
+	DegradedCause string
 }
 
 // durability is the engine's durability state; nil when DurabilityNone.
@@ -77,6 +84,7 @@ type durability struct {
 	log     *wal.Log
 	persist *wal.Persister
 	dataDir string
+	fs      vfs.FS
 
 	snapshotBytes int64
 	rec           RecoveryStats
@@ -87,6 +95,78 @@ type durability struct {
 	snapshots    atomic.Int64
 	snapshotErrs atomic.Int64
 	closeErr     error
+
+	// degraded is the fail-stop latch (DESIGN.md §11): set by the first
+	// storage failure, never cleared — even if the disk later "recovers",
+	// an unknown amount of acknowledged state may be missing from the log,
+	// so the only safe exit is a restart through recovery. cause (under
+	// poisonMu) wraps cc.ErrDurabilityFailed around the original error.
+	degraded atomic.Bool
+	poisonMu sync.Mutex
+	cause    error
+}
+
+// poison latches the fail-stop state with the first cause. Safe to call
+// from any goroutine, including the WAL flusher via wal.Options.OnError.
+func (d *durability) poison(cause error) {
+	if cause == nil {
+		return
+	}
+	d.poisonMu.Lock()
+	if d.cause == nil {
+		d.cause = fmt.Errorf("%w (storage error: %v)", cc.ErrDurabilityFailed, cause)
+		d.degraded.Store(true)
+	}
+	d.poisonMu.Unlock()
+}
+
+// degradedErr returns the sticky typed error once poisoned, else nil.
+func (d *durability) degradedErr() error {
+	if !d.degraded.Load() {
+		return nil
+	}
+	d.poisonMu.Lock()
+	defer d.poisonMu.Unlock()
+	return d.cause
+}
+
+// Degraded reports whether the durability layer has poisoned the engine
+// into fail-stop read-only mode, and the sticky cause (wrapping
+// cc.ErrDurabilityFailed). Memory-only engines are never degraded.
+func (e *Engine) Degraded() (bool, error) {
+	if e.dur == nil {
+		return false, nil
+	}
+	err := e.dur.degradedErr()
+	return err != nil, err
+}
+
+// rejectDegraded is the begin-path check: on a poisoned engine it counts
+// and returns the typed rejection for new update/ad-hoc work. Read-only
+// begins never call it — degraded mode keeps serving reads.
+func (e *Engine) rejectDegraded() error {
+	if e.dur == nil {
+		return nil
+	}
+	if err := e.dur.degradedErr(); err != nil {
+		e.ctr.DurabilityFailures.Add(1)
+		return err
+	}
+	return nil
+}
+
+// commitDurabilityErr converts a failed commit-marker wait into the error
+// the client sees. A storage failure poisons the engine (fail-stop) and
+// surfaces cc.ErrDurabilityFailed; a benign close race — the engine shut
+// down with the batch unflushed — stays an ordinary non-durable error and
+// does not poison.
+func (e *Engine) commitDurabilityErr(id vclock.Time, err error) error {
+	if errors.Is(err, wal.ErrClosed) {
+		return fmt.Errorf("core: commit %d applied in memory but not durable: %w", id, err)
+	}
+	e.dur.poison(err)
+	e.ctr.DurabilityFailures.Add(1)
+	return fmt.Errorf("core: commit %d applied in memory but not durable: %w", id, e.dur.degradedErr())
 }
 
 // initDurability runs recovery and installs the WAL behind the store.
@@ -96,15 +176,19 @@ func (e *Engine) initDurability(cfg Config) error {
 	if cfg.DataDir == "" {
 		return fmt.Errorf("core: Durability WAL requires Config.DataDir")
 	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = vfs.OS{}
+	}
 	start := time.Now()
-	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+	if err := fs.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return fmt.Errorf("core: creating data dir: %w", err)
 	}
 	// Make the data directory's own entry durable in case MkdirAll just
 	// created it. Best-effort: the parent may not be openable (and on an
 	// existing deployment there is nothing to persist).
-	syncDir(filepath.Dir(cfg.DataDir))
-	d := &durability{dataDir: cfg.DataDir, snapshotBytes: cfg.SnapshotBytes}
+	fs.SyncDir(filepath.Dir(cfg.DataDir))
+	d := &durability{dataDir: cfg.DataDir, fs: fs, snapshotBytes: cfg.SnapshotBytes}
 	if d.snapshotBytes == 0 {
 		d.snapshotBytes = 8 << 20
 	}
@@ -112,24 +196,26 @@ func (e *Engine) initDurability(cfg Config) error {
 	// Recovery step 1: load the latest snapshot, if any.
 	var high vclock.Time
 	snapPath := filepath.Join(cfg.DataDir, snapshotFile)
-	if f, err := os.Open(snapPath); err == nil {
+	if f, err := fs.Open(snapPath); err == nil {
 		store, h, rerr := mvstore.ReadCheckpoint(f)
 		f.Close()
 		if rerr != nil {
-			return fmt.Errorf("core: loading snapshot: %w", rerr)
+			// A corrupt snapshot is refused, never half-loaded: the operator
+			// must restore or delete it (the WAL alone may not cover it).
+			return fmt.Errorf("core: loading snapshot %s: %w", snapPath, rerr)
 		}
 		e.store = store
 		high = h
 		d.rec.SnapshotLoaded = true
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("core: opening snapshot: %w", err)
+		return fmt.Errorf("core: opening snapshot %s: %w", snapPath, err)
 	}
 
 	// Recovery step 2: replay the WAL tail on top of the snapshot. The
 	// persister is not installed yet, so replay appends nothing.
 	walPath := filepath.Join(cfg.DataDir, walFile)
 	var valid int64
-	if f, err := os.Open(walPath); err == nil {
+	if f, err := fs.Open(walPath); err == nil {
 		v, n, torn, rerr := e.replayWAL(f, &high)
 		f.Close()
 		if rerr != nil {
@@ -144,11 +230,15 @@ func (e *Engine) initDurability(cfg Config) error {
 	}
 
 	// Recovery step 3: reopen the log for appending, truncating the torn
-	// tail, and hook it behind the store.
+	// tail, and hook it behind the store. A flusher-side storage failure
+	// poisons the engine (fail-stop) even before any commit waiter
+	// observes it.
 	log, err := wal.Open(walPath, valid, wal.Options{
 		FlushInterval: cfg.WALFlushInterval,
 		FlushBytes:    cfg.WALFlushBytes,
 		SyncEach:      cfg.WALSyncEach,
+		FS:            fs,
+		OnError:       d.poison,
 	})
 	if err != nil {
 		return err
@@ -158,7 +248,7 @@ func (e *Engine) initDurability(cfg Config) error {
 	// is: without this fsync, a first-boot crash could drop the file —
 	// and every acknowledged commit in it — even though the file's own
 	// contents were fsynced. Must happen before any commit can be acked.
-	if err := syncDir(cfg.DataDir); err != nil {
+	if err := fs.SyncDir(cfg.DataDir); err != nil {
 		log.Close()
 		return fmt.Errorf("core: syncing data dir: %w", err)
 	}
@@ -248,57 +338,57 @@ func (e *Engine) Snapshot() error {
 	}
 	e.dur.snapMu.Lock()
 	defer e.dur.snapMu.Unlock()
+	// A poisoned log cannot be safely truncated — an unknown suffix of
+	// acknowledged commits may be missing from it, and a snapshot taken
+	// from memory would launder that loss into the durable state.
+	if err := e.dur.degradedErr(); err != nil {
+		return fmt.Errorf("core: snapshot refused: %w", err)
+	}
 	all := e.gate.lockAll()
 	defer e.gate.unlock(all)
 	// Make the log complete up to the quiesce point first: if the
-	// checkpoint write fails we still have a fully durable log.
+	// checkpoint write fails we still have a fully durable log. A sync
+	// failure here is a WAL storage failure — fail-stop.
 	if err := e.dur.log.Sync(); err != nil {
 		e.dur.snapshotErrs.Add(1)
+		e.dur.poison(err)
 		return fmt.Errorf("core: syncing wal before snapshot: %w", err)
 	}
+	// Snapshot-file failures, by contrast, are retryable: the log is fully
+	// durable and keeps growing, so only SnapshotErrs is counted and the
+	// next snapshotter tick tries again.
 	tmp := filepath.Join(e.dur.dataDir, snapshotFile+".tmp")
 	if err := e.writeSnapshotFile(tmp); err != nil {
 		e.dur.snapshotErrs.Add(1)
-		os.Remove(tmp)
+		e.dur.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(e.dur.dataDir, snapshotFile)); err != nil {
+	if err := e.dur.fs.Rename(tmp, filepath.Join(e.dur.dataDir, snapshotFile)); err != nil {
 		e.dur.snapshotErrs.Add(1)
-		os.Remove(tmp)
+		e.dur.fs.Remove(tmp)
 		return fmt.Errorf("core: publishing snapshot: %w", err)
 	}
 	// Sync the directory so the rename itself is durable before the log
 	// contents it supersedes are dropped. A failure here must skip the
 	// reset: truncating the log while the snapshot's directory entry may
 	// not survive a crash would lose committed state.
-	if err := syncDir(e.dur.dataDir); err != nil {
+	if err := e.dur.fs.SyncDir(e.dur.dataDir); err != nil {
 		e.dur.snapshotErrs.Add(1)
 		return fmt.Errorf("core: syncing data dir after snapshot publish: %w", err)
 	}
+	// A failed truncate leaves the log file in an unknown state (the
+	// in-memory accounting no longer matches the disk) — fail-stop.
 	if err := e.dur.log.Reset(); err != nil {
 		e.dur.snapshotErrs.Add(1)
+		e.dur.poison(err)
 		return fmt.Errorf("core: truncating wal after snapshot: %w", err)
 	}
 	e.dur.snapshots.Add(1)
 	return nil
 }
 
-// syncDir fsyncs a directory so the entries created or renamed in it
-// survive a crash.
-func syncDir(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	err = f.Sync()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
 func (e *Engine) writeSnapshotFile(path string) error {
-	f, err := os.Create(path)
+	f, err := e.dur.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating snapshot: %w", err)
 	}
@@ -327,6 +417,10 @@ func (e *Engine) snapshotter(interval time.Duration) {
 		case <-e.closed:
 			return
 		case <-tick.C:
+			if e.dur.degraded.Load() {
+				// Fail-stop: nothing more reaches the disk.
+				return
+			}
 			if e.dur.log.Size() >= e.dur.snapshotBytes {
 				// Errors are counted (DurabilityStats.SnapshotErrs) and the
 				// next tick retries; the log keeps growing but stays correct.
@@ -342,11 +436,16 @@ func (e *Engine) DurabilityStats() (DurabilityStats, bool) {
 	if e.dur == nil {
 		return DurabilityStats{}, false
 	}
-	return DurabilityStats{
+	s := DurabilityStats{
 		WAL:          e.dur.log.Stats(),
 		LogBytes:     e.dur.log.Size(),
 		Snapshots:    e.dur.snapshots.Load(),
 		SnapshotErrs: e.dur.snapshotErrs.Load(),
 		Recovery:     e.dur.rec,
-	}, true
+	}
+	if err := e.dur.degradedErr(); err != nil {
+		s.Degraded = true
+		s.DegradedCause = err.Error()
+	}
+	return s, true
 }

@@ -61,6 +61,7 @@ import (
 	"hdd/internal/mvstore"
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
+	"hdd/internal/vfs"
 )
 
 // RootProtocol selects the intra-root-segment synchronization of Protocol
@@ -119,6 +120,11 @@ type Config struct {
 	// DataDir is the durable state directory (snapshot + wal.log).
 	// Required when Durability is DurabilityWAL.
 	DataDir string
+	// FS is the filesystem all durability I/O (WAL, snapshots, recovery,
+	// directory syncs) goes through; nil means the real filesystem
+	// (vfs.OS). Tests inject vfs.Faulty to simulate storage faults and
+	// enumerate crash points (DESIGN.md §11).
+	FS vfs.FS
 	// WALFlushInterval is the group-commit window: how long the log holds
 	// a flush batch open for more committers to join. 0 (default) flushes
 	// as soon as possible — batching then comes from fsync backpressure.

@@ -29,6 +29,12 @@ func (e *Engine) BeginWithTimeout(class schema.ClassID, timeout time.Duration) (
 	if err := e.closedErr(); err != nil {
 		return nil, err
 	}
+	// Fail-stop (DESIGN.md §11): a poisoned engine admits no new update
+	// work — its commits could not be made durable. Read-only begins
+	// (BeginReadOnly and friends) stay open.
+	if err := e.rejectDegraded(); err != nil {
+		return nil, err
+	}
 	e.enterUpdate(class)
 	// BeginTxn's barrier window guarantees that any instant later drawn
 	// through the activity set's TickBarrier observes this registration —

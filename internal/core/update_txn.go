@@ -276,7 +276,7 @@ func (t *updateTxn) Commit() error {
 	e.exitUpdate(t.class)
 	if wait != nil {
 		if err := wait(); err != nil {
-			return fmt.Errorf("core: commit %d applied in memory but not durable: %w", t.init, err)
+			return e.commitDurabilityErr(t.init, err)
 		}
 	}
 	return nil

@@ -135,22 +135,28 @@ func ReadCheckpoint(r io.Reader) (*Store, vclock.Time, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("mvstore: reading checkpoint: %w", err)
 	}
+	// Check the magic before the checksum: "this is not a checkpoint at
+	// all" (wrong file, zero-filled page) and "this checkpoint is corrupt"
+	// are different operator problems and deserve different errors.
+	if len(data) < len(checkpointMagic) || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		got := data
+		if len(got) > len(checkpointMagic) {
+			got = got[:len(checkpointMagic)]
+		}
+		return nil, 0, fmt.Errorf("mvstore: bad checkpoint magic %q at offset 0 (want %q; %d-byte file)",
+			got, checkpointMagic, len(data))
+	}
 	if len(data) < len(checkpointMagic)+4 {
-		return nil, 0, fmt.Errorf("mvstore: checkpoint too short (%d bytes)", len(data))
+		return nil, 0, fmt.Errorf("mvstore: checkpoint truncated before checksum trailer (%d bytes, need at least %d)",
+			len(data), len(checkpointMagic)+4)
 	}
 	payload, sum := data[:len(data)-4], data[len(data)-4:]
-	if crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)) != binary.LittleEndian.Uint32(sum) {
-		return nil, 0, fmt.Errorf("mvstore: checkpoint checksum mismatch")
+	want := binary.LittleEndian.Uint32(sum)
+	if got := crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)); got != want {
+		return nil, 0, fmt.Errorf("mvstore: checkpoint checksum mismatch: computed %08x over bytes [0,%d), trailer at offset %d says %08x",
+			got, len(payload), len(payload), want)
 	}
-	br := bytes.NewReader(payload)
-
-	magic := make([]byte, len(checkpointMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, 0, fmt.Errorf("mvstore: reading checkpoint magic: %w", err)
-	}
-	if string(magic) != checkpointMagic {
-		return nil, 0, fmt.Errorf("mvstore: bad checkpoint magic %q", magic)
-	}
+	br := bytes.NewReader(payload[len(checkpointMagic):])
 	s := New()
 	var high vclock.Time
 	granules, err := binary.ReadUvarint(br)
@@ -186,8 +192,10 @@ func ReadCheckpoint(r io.Reader) (*Store, vclock.Time, error) {
 			if err != nil {
 				return nil, 0, fmt.Errorf("mvstore: checkpoint truncated: %w", err)
 			}
-			if vlen > 1<<30 {
-				return nil, 0, fmt.Errorf("mvstore: checkpoint value length %d implausible", vlen)
+			// Bound the allocation by what is actually left: a forged
+			// length must fail before make, not after.
+			if vlen > uint64(br.Len()) {
+				return nil, 0, fmt.Errorf("mvstore: checkpoint value length %d exceeds the %d bytes remaining", vlen, br.Len())
 			}
 			val := make([]byte, vlen)
 			if _, err := io.ReadFull(br, val); err != nil {

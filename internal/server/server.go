@@ -301,6 +301,7 @@ func (s *Server) statEntries() []wire.StatEntry {
 		{Name: "wall_waits", Value: es.WallWaits},
 		{Name: "reaped_txns", Value: es.ReapedTxns},
 		{Name: "timed_out_reads", Value: es.TimedOutReads},
+		{Name: "durability_failures", Value: es.DurabilityFailures},
 		{Name: "active_txns", Value: int64(s.eng.ActiveTxns())},
 		{Name: "conns_accepted", Value: s.connsAccepted.Load()},
 		{Name: "sessions_open", Value: int64(s.OpenSessions())},
@@ -322,6 +323,13 @@ func (s *Server) statEntries() []wire.StatEntry {
 			wire.StatEntry{Name: "wal_replayed_records", Value: ds.Recovery.ReplayedRecords},
 			wire.StatEntry{Name: "wal_recovery_ns", Value: int64(ds.Recovery.Duration)},
 		)
+		// degraded is 0/1 rather than a counter: the fail-stop flag clients
+		// and operators poll for (DESIGN.md §11).
+		degraded := int64(0)
+		if ds.Degraded {
+			degraded = 1
+		}
+		entries = append(entries, wire.StatEntry{Name: "durability_degraded", Value: degraded})
 	}
 	return entries
 }

@@ -1,0 +1,381 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the default error a triggered fault returns.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrCrashed is returned by every operation after a ModeCrash fault
+// fires: from the durability layer's point of view the process is dead,
+// and nothing else reaches the disk. Tests then "reboot" by reopening the
+// same directory with a clean FS.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// Op names a class of filesystem operation for fault matching. OpAny
+// matches every counted (state-changing) operation and is addressed by
+// the global operation index; the others are addressed by their own
+// per-kind occurrence count.
+type Op uint8
+
+const (
+	// OpAny matches any counted operation (Nth = global op index).
+	OpAny Op = iota
+	// OpCreate matches Create and any OpenFile that may create or write.
+	OpCreate
+	// OpWrite matches File.Write.
+	OpWrite
+	// OpSync matches File.Sync.
+	OpSync
+	// OpTruncate matches File.Truncate.
+	OpTruncate
+	// OpRename matches FS.Rename.
+	OpRename
+	// OpRemove matches FS.Remove.
+	OpRemove
+	// OpMkdir matches FS.MkdirAll.
+	OpMkdir
+	// OpSyncDir matches FS.SyncDir.
+	OpSyncDir
+)
+
+// Mode is what a triggered fault does.
+type Mode uint8
+
+const (
+	// ModeError fails the operation without applying it.
+	ModeError Mode = iota
+	// ModeShortWrite (writes only) applies a prefix of the buffer and
+	// returns an error reporting the bytes actually written — the
+	// ENOSPC-mid-buffer shape. On non-write operations it degenerates to
+	// ModeError.
+	ModeShortWrite
+	// ModeCrash tears the operation (writes keep a prefix, everything
+	// else is dropped) and latches the filesystem dead: every subsequent
+	// operation fails with ErrCrashed. This is the fail-stop crash the
+	// torture lattice enumerates.
+	ModeCrash
+)
+
+// Fault is one armed fault. Faults fire once.
+type Fault struct {
+	// Op selects the operation class; Nth is the 1-based occurrence that
+	// triggers (the global operation index when Op is OpAny).
+	Op  Op
+	Nth int64
+	// Mode is the failure shape.
+	Mode Mode
+	// Err overrides the returned error (e.g. syscall.ENOSPC). Nil means
+	// ErrInjected, or ErrCrashed for ModeCrash.
+	Err error
+	// KeepBytes bounds the prefix a ModeShortWrite/ModeCrash write still
+	// applies: 0 keeps half the buffer (a torn tail), negative keeps
+	// nothing.
+	KeepBytes int
+
+	fired bool
+}
+
+func (f *Fault) errOr(fallback error) error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return fallback
+}
+
+func (f *Fault) keep(n int) int {
+	switch {
+	case f.KeepBytes < 0:
+		return 0
+	case f.KeepBytes == 0:
+		return n / 2
+	case f.KeepBytes < n:
+		return f.KeepBytes
+	default:
+		return n
+	}
+}
+
+// Faulty wraps an FS with deterministic fault injection. Every
+// state-changing operation (create, write, sync, truncate, rename,
+// remove, mkdir, dir-sync) is counted, checked against the armed faults,
+// and forwarded to the inner FS unless a fault fires. Reads pass through
+// untouched until a ModeCrash fault latches the filesystem dead.
+//
+// Faulty is safe for concurrent use; the counters give a deterministic
+// schedule only as deterministic as the callers' own operation order.
+type Faulty struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []Fault
+	perKind map[Op]int64
+	ops     int64
+	crashed bool
+}
+
+var _ FS = (*Faulty)(nil)
+
+// NewFaulty wraps inner (nil means the real filesystem) with no faults
+// armed.
+func NewFaulty(inner FS) *Faulty {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Faulty{inner: inner, perKind: make(map[Op]int64)}
+}
+
+// Inject arms additional faults.
+func (fs *Faulty) Inject(faults ...Fault) {
+	fs.mu.Lock()
+	fs.faults = append(fs.faults, faults...)
+	fs.mu.Unlock()
+}
+
+// CrashAtOp arms a fail-stop crash at the nth counted operation (writes
+// keep a torn prefix).
+func (fs *Faulty) CrashAtOp(n int64) {
+	fs.Inject(Fault{Op: OpAny, Nth: n, Mode: ModeCrash})
+}
+
+// Ops reports the number of state-changing operations observed so far —
+// the size of the crash-point lattice a fault-free run defines.
+func (fs *Faulty) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether a ModeCrash fault has fired.
+func (fs *Faulty) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// begin counts one operation of the given kind and returns the fault that
+// fires on it, if any. A latched crash fails the operation outright.
+func (fs *Faulty) begin(kind Op) (*Fault, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	fs.ops++
+	fs.perKind[kind]++
+	for i := range fs.faults {
+		f := &fs.faults[i]
+		if f.fired {
+			continue
+		}
+		hit := (f.Op == kind && fs.perKind[kind] == f.Nth) ||
+			(f.Op == OpAny && fs.ops == f.Nth)
+		if !hit {
+			continue
+		}
+		f.fired = true
+		if f.Mode == ModeCrash {
+			fs.crashed = true
+		}
+		return f, nil
+	}
+	return nil, nil
+}
+
+// dead reports the crash latch for pass-through (uncounted) operations.
+func (fs *Faulty) dead() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile implements FS. Opens that may create or write count as
+// OpCreate; read-only opens pass through.
+func (fs *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_WRONLY|os.O_RDWR|os.O_TRUNC|os.O_APPEND) != 0 {
+		ft, err := fs.begin(OpCreate)
+		if err != nil {
+			return nil, err
+		}
+		if ft != nil {
+			if ft.Mode == ModeCrash {
+				return nil, ft.errOr(ErrCrashed)
+			}
+			return nil, ft.errOr(ErrInjected)
+		}
+	} else if err := fs.dead(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: fs, f: f}, nil
+}
+
+// Open implements FS (read-only; uncounted).
+func (fs *Faulty) Open(name string) (File, error) {
+	if err := fs.dead(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: fs, f: f}, nil
+}
+
+// Create implements FS.
+func (fs *Faulty) Create(name string) (File, error) {
+	return fs.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+}
+
+// Rename implements FS. A crashing rename does not happen — the old name
+// survives, as on a real crash before the metadata reached the journal.
+func (fs *Faulty) Rename(oldpath, newpath string) error {
+	ft, err := fs.begin(OpRename)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (fs *Faulty) Remove(name string) error {
+	ft, err := fs.begin(OpRemove)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return fs.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (fs *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	ft, err := fs.begin(OpMkdir)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return fs.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (fs *Faulty) SyncDir(path string) error {
+	ft, err := fs.begin(OpSyncDir)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return fs.inner.SyncDir(path)
+}
+
+// faultyFile threads file operations back through the injector.
+type faultyFile struct {
+	fs *Faulty
+	f  File
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if err := ff.fs.dead(); err != nil {
+		return 0, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	if err := ff.fs.dead(); err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ft, err := ff.fs.begin(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if ft == nil {
+		return ff.f.Write(p)
+	}
+	switch ft.Mode {
+	case ModeShortWrite, ModeCrash:
+		n := 0
+		if keep := ft.keep(len(p)); keep > 0 {
+			// The prefix genuinely reaches the inner file: this is the
+			// torn tail recovery must truncate.
+			n, _ = ff.f.Write(p[:keep])
+		}
+		if ft.Mode == ModeCrash {
+			return n, ft.errOr(ErrCrashed)
+		}
+		return n, ft.errOr(ErrInjected)
+	default:
+		return 0, ft.errOr(ErrInjected)
+	}
+}
+
+func (ff *faultyFile) Sync() error {
+	ft, err := ff.fs.begin(OpSync)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultyFile) Truncate(size int64) error {
+	ft, err := ff.fs.begin(OpTruncate)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		if ft.Mode == ModeCrash {
+			return ft.errOr(ErrCrashed)
+		}
+		return ft.errOr(ErrInjected)
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultyFile) Close() error {
+	// Close is not a counted op (it changes no durable state), but a dead
+	// filesystem still releases the descriptor so torture runs don't leak.
+	if err := ff.fs.dead(); err != nil {
+		ff.f.Close()
+		return err
+	}
+	return ff.f.Close()
+}

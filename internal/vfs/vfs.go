@@ -1,0 +1,92 @@
+// Package vfs is the narrow filesystem seam under the durability layer
+// (DESIGN.md §11). Everything internal/wal and the engine's snapshotter
+// and recovery do to disk — open, create, write, fsync, truncate, rename,
+// directory sync — goes through the FS interface, so tests can substitute
+// a deterministic fault injector (Faulty) and prove the fail-stop
+// semantics the real layer promises: the first storage failure poisons
+// the log, every acknowledged commit survives any crash point, and
+// recovery never resurrects uncommitted data.
+//
+// The production implementation (OS) is a thin veneer over package os
+// with zero behavioral additions; the durability layer's correctness
+// argument therefore transfers unchanged from the injected runs to real
+// disks, up to the usual assumption that fsync means what it says.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the durability layer uses. Implementations
+// need not be safe for concurrent use; the WAL and snapshotter serialize
+// access themselves.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's contents (and metadata needed to read them)
+	// to stable storage.
+	Sync() error
+	// Truncate changes the file's size without moving the offset.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem operations the durability layer performs. Paths
+// are interpreted exactly as package os would.
+type FS interface {
+	// OpenFile is the general open, as os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// Create truncates-or-creates a file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and its missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so entries created, removed, or renamed
+	// in it survive a crash.
+	SyncDir(path string) error
+}
+
+// OS is the production FS: package os, verbatim.
+type OS struct{}
+
+var _ FS = OS{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,184 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path + "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hell" {
+		t.Fatalf("read %q, want %q", got, "hell")
+	}
+}
+
+func TestFaultyNthSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(nil)
+	fs.Inject(Fault{Op: OpSync, Nth: 2})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (fault is one-shot): %v", err)
+	}
+}
+
+func TestFaultyENOSPCWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(nil)
+	fs.Inject(Fault{Op: OpWrite, Nth: 1, Err: syscall.ENOSPC})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("doomed"))
+	if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write = (%d, %v), want (0, ENOSPC)", n, err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(nil)
+	fs.Inject(Fault{Op: OpWrite, Nth: 1, Mode: ModeShortWrite, KeepBytes: 3})
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("file holds %q, want the short prefix %q", got, "abc")
+	}
+}
+
+func TestFaultyCrashLatch(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(nil)
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	// Ops so far: create (1), write (2). Crash on the next one.
+	fs.CrashAtOp(3)
+	if n, err := f.Write([]byte("torncontent!")); !errors.Is(err, ErrCrashed) || n != 6 {
+		t.Fatalf("crashing write = (%d, %v), want (6, ErrCrashed)", n, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash latch not set")
+	}
+	// Everything afterwards is dead: writes, syncs, renames, even reads.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	if _, err := fs.Open(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	// The torn prefix reached the real file; a clean FS (the "reboot")
+	// sees it.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pre"+"tornco" {
+		t.Fatalf("file holds %q, want %q", got, "pretornco")
+	}
+}
+
+func TestFaultyOpCountDeterministic(t *testing.T) {
+	run := func() int64 {
+		dir := t.TempDir()
+		fs := NewFaulty(nil)
+		f, _ := fs.Create(filepath.Join(dir, "f"))
+		f.Write([]byte("a"))
+		f.Sync()
+		f.Truncate(0)
+		f.Close()
+		fs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g"))
+		fs.SyncDir(dir)
+		fs.Remove(filepath.Join(dir, "g"))
+		return fs.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a != 7 {
+		t.Fatalf("op counts %d, %d; want 7, 7", a, b)
+	}
+}
+
+func TestFaultyRenameFailureLeavesOldName(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaulty(nil)
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("v"))
+	f.Close()
+	fs.Inject(Fault{Op: OpRename, Nth: 1})
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("old name gone after failed rename: %v", err)
+	}
+	if _, err := os.Stat(path + "2"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("new name exists after failed rename")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
+	"hdd/internal/vfs"
 )
 
 // Group commit.
@@ -80,11 +81,26 @@ type Options struct {
 	// NoSync skips fsync entirely (write-only durability, for tests and
 	// for measuring the non-sync cost of logging).
 	NoSync bool
+	// FS is the filesystem the log writes through; nil means the real one
+	// (vfs.OS). Tests substitute a fault injector to exercise the
+	// fail-stop contract.
+	FS vfs.FS
+	// OnError, if set, is invoked exactly once with the first I/O error
+	// that poisons the log *from the flusher goroutine* — the one place a
+	// failure might otherwise go unobserved (a batch of advisory records
+	// with no commit waiter attached). Errors surfaced synchronously
+	// (SyncEach waits, Sync, Reset) are returned to their callers, who
+	// are expected to react themselves. OnError must not call back into
+	// the Log.
+	OnError func(error)
 }
 
 func (o Options) withDefaults() Options {
 	if o.FlushBytes <= 0 {
 		o.FlushBytes = 256 << 10
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
 	}
 	return o
 }
@@ -112,14 +128,15 @@ type Log struct {
 	opts Options
 	path string
 
-	mu     sync.Mutex
-	f      *os.File
-	buf    []byte // pending encoded frames
-	spare  []byte // idle half of the double buffer
-	cur    *batch // batch the next flush resolves; nil if no waiter yet
-	size   int64  // bytes appended since Open/Reset (durable + pending)
-	closed bool
-	err    error // sticky I/O error; fails all subsequent commits
+	mu       sync.Mutex
+	f        vfs.File
+	buf      []byte // pending encoded frames
+	spare    []byte // idle half of the double buffer
+	cur      *batch // batch the next flush resolves; nil if no waiter yet
+	size     int64  // bytes appended since Open/Reset (durable + pending)
+	closed   bool
+	err      error // sticky I/O error; fails all subsequent commits
+	notified bool  // OnError already dispatched
 
 	// ioMu serializes file I/O: the flusher's write+fsync (which runs
 	// outside mu) against Reset's truncate. Without it an in-flight Write
@@ -158,7 +175,8 @@ type batch struct {
 // reported — so a torn tail never precedes fresh records. validSize < 0
 // skips the truncation.
 func Open(path string, validSize int64, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	opts = opts.withDefaults()
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening log: %w", err)
 	}
@@ -174,7 +192,7 @@ func Open(path string, validSize int64, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: seeking log end: %w", err)
 	}
 	l := &Log{
-		opts: opts.withDefaults(),
+		opts: opts,
 		path: path,
 		f:    f,
 		size: end,
@@ -393,6 +411,14 @@ func (l *Log) Close() error {
 	return l.err
 }
 
+// Err returns the log's sticky I/O error, if any. Once non-nil the log is
+// poisoned: every subsequent append and commit fails with it.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
 // Size reports the bytes appended since Open or the last Reset (durable
 // plus pending) — the quantity the engine's snapshotter thresholds on.
 func (l *Log) Size() int64 {
@@ -516,8 +542,29 @@ func (l *Log) pendingLen() int {
 	return len(l.buf)
 }
 
+// noteErr latches the log's first sticky I/O error. It reports whether
+// the caller should dispatch Options.OnError (exactly one caller ever
+// gets true). Caller holds l.mu.
+func (l *Log) noteErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if l.err == nil {
+		l.err = err
+	}
+	if l.notified || l.opts.OnError == nil {
+		return false
+	}
+	l.notified = true
+	return true
+}
+
 // flushOnce swaps out the pending buffer and current batch, writes and
-// fsyncs outside the lock, and resolves the batch.
+// fsyncs outside the lock, and resolves the batch. On failure it latches
+// the sticky error and — before returning — also fails any batch that
+// formed while the doomed flush was in flight, so every queued commit
+// waiter observes the failure immediately rather than waiting for a kick
+// that may never come.
 func (l *Log) flushOnce() {
 	l.mu.Lock()
 	buf, b := l.buf, l.cur
@@ -540,9 +587,16 @@ func (l *Log) flushOnce() {
 		b.err = err
 		close(b.done)
 	}
+	var notify bool
+	var stranded *batch
 	l.mu.Lock()
-	if err != nil && l.err == nil {
-		l.err = err
+	if err != nil {
+		notify = l.noteErr(err)
+		// Waiters that attached after the swap above joined a fresh batch
+		// expecting a future flush; with the log now poisoned, append()
+		// rejects all newcomers, so nothing would ever kick that flush.
+		// Resolve them with the sticky error here.
+		stranded, l.cur = l.cur, nil
 	}
 	l.lastFlush = took
 	l.lastWaiters = 0
@@ -551,6 +605,13 @@ func (l *Log) flushOnce() {
 	}
 	l.spare = buf[:0]
 	l.mu.Unlock()
+	if stranded != nil {
+		stranded.err = err
+		close(stranded.done)
+	}
+	if notify {
+		l.opts.OnError(err)
+	}
 }
 
 // writeAndSync writes buf to the file and fsyncs (unless NoSync). An
@@ -560,10 +621,18 @@ func (l *Log) writeAndSync(buf []byte) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
 	if len(buf) > 0 {
-		if _, err := l.f.Write(buf); err != nil {
+		// FlushedBytes advances by what actually hit the file: a short
+		// write (ENOSPC mid-buffer, injected fault) must not claim bytes
+		// the file never received, or the accounting would overstate the
+		// durable prefix.
+		n, err := l.f.Write(buf)
+		l.flushedBytes.Add(int64(n))
+		if err != nil {
 			return fmt.Errorf("wal: writing log: %w", err)
 		}
-		l.flushedBytes.Add(int64(len(buf)))
+		if n < len(buf) {
+			return fmt.Errorf("wal: writing log: %w (%d of %d bytes)", io.ErrShortWrite, n, len(buf))
+		}
 	}
 	if !l.opts.NoSync {
 		if err := l.f.Sync(); err != nil {

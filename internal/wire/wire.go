@@ -113,6 +113,11 @@ const (
 	StatusTxnDone Status = 3
 	// StatusError carries any other error as text.
 	StatusError Status = 4
+	// StatusDurabilityFailed reports the engine's fail-stop degraded mode:
+	// storage failed, commits cannot be made durable, and the engine serves
+	// reads only. The client surfaces cc.ErrDurabilityFailed — not an
+	// abort, so retry loops stop instead of hammering a poisoned engine.
+	StatusDurabilityFailed Status = 5
 )
 
 // Request is the decoded form of one request frame. Fields beyond Op are
@@ -367,7 +372,7 @@ func DecodeResponse(op Op, p []byte) (Response, error) {
 		default:
 			return Response{}, fmt.Errorf("wire: unknown opcode %d for response", byte(op))
 		}
-	case StatusAbort, StatusEngineClosed, StatusTxnDone, StatusError:
+	case StatusAbort, StatusEngineClosed, StatusTxnDone, StatusError, StatusDurabilityFailed:
 		resp.Reason = d.str()
 		resp.Message = d.str()
 	default:
@@ -387,6 +392,8 @@ func StatusOf(err error) (st Status, reason, msg string) {
 		return StatusOK, "", ""
 	case errors.Is(err, cc.ErrEngineClosed):
 		return StatusEngineClosed, "", err.Error()
+	case errors.Is(err, cc.ErrDurabilityFailed):
+		return StatusDurabilityFailed, "", err.Error()
 	case cc.IsAbort(err):
 		return StatusAbort, cc.AbortReason(err), err.Error()
 	case errors.Is(err, cc.ErrTxnDone):
@@ -408,6 +415,8 @@ func (r *Response) Err() error {
 		return &cc.AbortError{Reason: r.Reason, Err: errors.New(r.Message)}
 	case StatusEngineClosed:
 		return cc.ErrEngineClosed
+	case StatusDurabilityFailed:
+		return fmt.Errorf("%w (%s)", cc.ErrDurabilityFailed, r.Message)
 	case StatusTxnDone:
 		return fmt.Errorf("%s: %w", "hdd server", cc.ErrTxnDone)
 	default:

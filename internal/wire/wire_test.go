@@ -65,6 +65,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{OpWrite, Response{Status: StatusOK}},
 		{OpCommit, Response{Status: StatusAbort, Reason: "write-rejected", Message: "too late"}},
 		{OpCommit, Response{Status: StatusEngineClosed, Message: "closed"}},
+		{OpCommit, Response{Status: StatusDurabilityFailed, Message: "fsync: injected fault"}},
 		{OpRead, Response{Status: StatusTxnDone, Message: "done"}},
 		{OpBegin, Response{Status: StatusError, Message: "unknown class 9"}},
 		{OpStats, Response{Status: StatusOK, Stats: []StatEntry{
@@ -203,6 +204,9 @@ func TestErrorMappingRoundTrip(t *testing.T) {
 		{"engine closed", cc.ErrEngineClosed, func(err error) bool { return errors.Is(err, cc.ErrEngineClosed) }},
 		{"engine closed is not abort", cc.ErrEngineClosed, func(err error) bool { return !cc.IsAbort(err) }},
 		{"txn done", fmt.Errorf("op: %w", cc.ErrTxnDone), func(err error) bool { return errors.Is(err, cc.ErrTxnDone) }},
+		{"durability failed", fmt.Errorf("commit 9 not durable: %w", cc.ErrDurabilityFailed),
+			func(err error) bool { return errors.Is(err, cc.ErrDurabilityFailed) }},
+		{"durability failed is not abort", cc.ErrDurabilityFailed, func(err error) bool { return !cc.IsAbort(err) }},
 		{"plain error", errors.New("boom"), func(err error) bool { return err != nil && !cc.IsAbort(err) }},
 	}
 	for _, c := range cases {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# torture.sh: storage fault-injection torture run.
+# Drives the crash-point lattice in internal/core over the injectable VFS:
+# a probe run counts every state-changing filesystem operation the
+# durability workload performs, then the same workload is re-run crashing
+# at each of those points in turn (torn final write, filesystem latched
+# dead), rebooted on clean storage, and audited against the durability
+# invariants — no acked commit lost, no aborted data resurrected, clock
+# above the recovered high-water mark. The fault sweep (non-crash I/O
+# errors across write/sync/truncate/rename/dir-sync) runs alongside.
+#
+# Modes:
+#   full   (default) every crash point in the lattice, plus the sweep
+#   smoke  bounded random sample under -race (the CI gate)
+#
+# Environment knobs (all optional):
+#   MODE               full | smoke          (default full; $1 overrides)
+#   HDD_TORTURE_SEED   pins the smoke-mode sample
+#   COUNT              repetitions           (default 1)
+set -eu
+
+GO="${GO:-go}"
+MODE="${1:-${MODE:-full}}"
+COUNT="${COUNT:-1}"
+
+case "$MODE" in
+full)
+	echo "torture: full crash-point lattice + fault sweep" >&2
+	HDD_TORTURE=full "$GO" test ./internal/core/ \
+		-run 'TestCrashPointLattice|TestFaultPointLattice|TestFsyncFailurePoisonsEngine|TestFlusherFailurePoisonsWithoutCommitWaiter|TestSnapshotFileFailureIsRetryableNotFailStop|TestSnapshotRenameFailureKeepsLog' \
+		-count "$COUNT" -v
+	;;
+smoke)
+	echo "torture: sampled lattice under -race (seed ${HDD_TORTURE_SEED:-1})" >&2
+	"$GO" test ./internal/core/ \
+		-run 'TestCrashPointLattice|TestFaultPointLattice' \
+		-race -count "$COUNT"
+	;;
+*)
+	echo "torture.sh: unknown mode '$MODE' (want full or smoke)" >&2
+	exit 2
+	;;
+esac
+
+echo "torture: OK" >&2
