@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke
 
 all: build vet test
 
@@ -58,6 +58,12 @@ serve:
 # BENCH_net.json. CLIENTS/TXNS/OUT env vars tune the run.
 loadtest:
 	sh scripts/loadtest.sh
+
+# Live engine matrix: the identical networked workload against every
+# registered backend (see internal/enginereg), archived as
+# BENCH_engines.json. ENGINES/CLIENTS/TXNS/OUT env vars tune the run.
+loadtest-matrix:
+	sh scripts/loadtest_matrix.sh
 
 # Crash-recovery smoke: SIGKILL hddserver mid-load, restart on the same
 # -data-dir, verify WAL replay and a clean follow-up load.

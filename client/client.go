@@ -116,6 +116,46 @@ func (c *Client) BeginAdHocFor(writeSeg hdd.SegmentID, reads ...hdd.SegmentID) (
 	return c.begin(req)
 }
 
+// BeginReadOnlyFor starts a read-only transaction declared to read only
+// the given segments, letting the engine pick the freshest protocol the
+// declaration allows. Engines without the scoped read-only capability
+// answer hdd.ErrNotSupported.
+func (c *Client) BeginReadOnlyFor(segments ...hdd.SegmentID) (hdd.Txn, error) {
+	req := &wire.Request{Op: wire.OpBeginReadOnlyFor}
+	for _, s := range segments {
+		req.ReadSegs = append(req.ReadSegs, int32(s))
+	}
+	return c.begin(req)
+}
+
+// ServerInfo identifies the backend a server is fronting.
+type ServerInfo struct {
+	// Engine is the engine's name ("HDD", "MV2PL", ...).
+	Engine string
+	// Caps is the engine's capability set; check bits with Caps.Has before
+	// using capability-gated calls like BeginAdHocFor.
+	Caps hdd.Capability
+}
+
+// ServerInfo asks the server (via the Hello request) which engine it
+// serves and which optional capabilities that engine backs.
+func (c *Client) ServerInfo() (ServerInfo, error) {
+	cn, err := c.get()
+	if err != nil {
+		return ServerInfo{}, err
+	}
+	resp, err := cn.roundTrip(&wire.Request{Op: wire.OpHello})
+	if err != nil {
+		cn.close()
+		return ServerInfo{}, err
+	}
+	c.put(cn)
+	if err := resp.Err(); err != nil {
+		return ServerInfo{}, err
+	}
+	return ServerInfo{Engine: resp.EngineName, Caps: hdd.Capability(resp.Caps)}, nil
+}
+
 func (c *Client) begin(req *wire.Request) (hdd.Txn, error) {
 	cn, err := c.get()
 	if err != nil {

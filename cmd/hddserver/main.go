@@ -1,15 +1,21 @@
-// Command hddserver serves an HDD engine over TCP using the
+// Command hddserver serves a concurrency-control engine over TCP using the
 // internal/wire protocol.
 //
 // Usage:
 //
 //	hddserver -addr 127.0.0.1:7070 -classes 3 -txn-timeout 5s
+//	hddserver -engine mvto -addr 127.0.0.1:7070
 //
-// The engine runs over a k-class chain partition (class i writes segment i
-// and may read every lower segment — the deepest TST-legal hierarchy, so
-// all three protocols are exercised). -addr-file writes the actual listen
-// address to a file once the listener is up, which lets scripts use
-// -addr 127.0.0.1:0 and discover the kernel-assigned port race-free.
+// -engine picks any registered backend (HDD by default; see
+// internal/enginereg). The engine runs over a k-class chain partition
+// (class i writes segment i and may read every lower segment — the deepest
+// TST-legal hierarchy, so all three protocols are exercised); the
+// classical baselines ignore the partition but serve the same workloads.
+// Capabilities the chosen engine lacks are reported at boot and answered
+// over the wire with a typed unsupported status, never a crash. -addr-file
+// writes the actual listen address to a file once the listener is up,
+// which lets scripts use -addr 127.0.0.1:0 and discover the
+// kernel-assigned port race-free.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new transactions are
 // refused, in-flight sessions get -drain-timeout to finish, stragglers are
@@ -23,11 +29,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"hdd/internal/core"
-	"hdd/internal/schema"
+	"hdd/internal/cc"
+	"hdd/internal/enginereg"
 	"hdd/internal/server"
 	"hdd/internal/vclock"
 )
@@ -36,6 +43,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks a free port)")
 		addrFile     = flag.String("addr-file", "", "write the actual listen address here once listening")
+		engine       = flag.String("engine", "HDD", "backend engine: "+strings.Join(enginereg.Names(), ", "))
 		classes      = flag.Int("classes", 3, "number of classes/segments in the chain partition")
 		txnTimeout   = flag.Duration("txn-timeout", 5*time.Second, "engine transaction deadline (reaper force-aborts past it); 0 disables")
 		wallInterval = flag.Int64("wall-interval", 256, "time-wall release interval in logical ticks")
@@ -51,33 +59,35 @@ func main() {
 	)
 	flag.Parse()
 
-	part, err := chainPartition(*classes)
+	part, err := enginereg.ChainPartition(*classes)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{
-		Partition:      part,
-		WallInterval:   vclock.Time(*wallInterval),
-		GCEveryCommits: *gcEvery,
-		TxnTimeout:     *txnTimeout,
-	}
-	if *dataDir != "" {
-		cfg.Durability = core.DurabilityWAL
-		cfg.DataDir = *dataDir
-		cfg.WALFlushInterval = *walFlush
-		cfg.WALSyncEach = *walSyncEach
-		cfg.SnapshotBytes = *snapshotBytes
-	}
-	// With -data-dir set, NewEngine recovers snapshot + WAL before
+	// With -data-dir set, the engine recovers snapshot + WAL before
 	// returning, so the listener only opens on fully recovered state.
-	eng, err := core.NewEngine(cfg)
+	eng, err := enginereg.Build(*engine, enginereg.Options{
+		Partition:        part,
+		WallInterval:     vclock.Time(*wallInterval),
+		GCEveryCommits:   *gcEvery,
+		TxnTimeout:       *txnTimeout,
+		DataDir:          *dataDir,
+		WALFlushInterval: *walFlush,
+		WALSyncEach:      *walSyncEach,
+		SnapshotBytes:    *snapshotBytes,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if ds, ok := eng.DurabilityStats(); ok {
+	if d, ok := cc.AsDurabilityIntrospector(eng); ok {
+		ds, _ := d.DurabilityState()
+		counters := make(map[string]int64, len(ds.Counters))
+		for _, kv := range ds.Counters {
+			counters[kv.Name] = kv.Value
+		}
 		fmt.Fprintf(os.Stderr, "hddserver: recovered %s in %v (snapshot=%v, replayed %d records, torn tail=%v, high water %d)\n",
-			*dataDir, ds.Recovery.Duration.Round(time.Microsecond), ds.Recovery.SnapshotLoaded,
-			ds.Recovery.ReplayedRecords, ds.Recovery.TornTail, ds.Recovery.HighWater)
+			*dataDir, time.Duration(counters["wal_recovery_ns"]).Round(time.Microsecond),
+			counters["wal_snapshot_loaded"] == 1, counters["wal_replayed_records"],
+			counters["wal_torn_tail"] == 1, counters["wal_high_water"])
 	}
 
 	opts := server.Options{IdleTimeout: *idleTimeout}
@@ -92,8 +102,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "hddserver: listening on %s (%d classes, txn-timeout %v)\n",
-		l.Addr(), *classes, *txnTimeout)
+	fmt.Fprintf(os.Stderr, "hddserver: listening on %s — engine %s (caps: %v; %d classes, txn-timeout %v)\n",
+		l.Addr(), eng.Name(), srv.Capabilities(), *classes, *txnTimeout)
 	if *addrFile != "" {
 		// Write-then-rename so readers polling the file never observe a
 		// partial address.
@@ -128,27 +138,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hddserver: done — %d commits, %d aborts (%d reaped), %d sessions open\n",
 			st.Commits, st.Aborts, st.ReapedTxns, srv.OpenSessions())
 	}
-}
-
-// chainPartition builds the k-class chain: class i writes segment i and
-// may read segments 0..i-1. The induced DHG is a total order, trivially a
-// transitive semi-tree.
-func chainPartition(k int) (*schema.Partition, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("hddserver: -classes must be >= 1, got %d", k)
-	}
-	names := make([]string, k)
-	specs := make([]schema.ClassSpec, k)
-	for i := 0; i < k; i++ {
-		names[i] = fmt.Sprintf("seg%d", i)
-		var reads []schema.SegmentID
-		for j := 0; j < i; j++ {
-			reads = append(reads, schema.SegmentID(j))
-		}
-		specs[i] = schema.ClassSpec{Name: fmt.Sprintf("class%d", i),
-			Writes: schema.SegmentID(i), Reads: reads}
-	}
-	return schema.NewPartition(names, specs)
 }
 
 func fatal(err error) {

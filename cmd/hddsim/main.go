@@ -13,23 +13,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"hdd/internal/cc"
-	"hdd/internal/core"
+	"hdd/internal/enginereg"
 	"hdd/internal/metrics"
 	"hdd/internal/schema"
-	"hdd/internal/sdd1"
-	"hdd/internal/segctl"
 	"hdd/internal/sim"
-	"hdd/internal/tso"
-	"hdd/internal/twopl"
 	"hdd/internal/workload"
 )
 
 func main() {
 	var (
-		engine    = flag.String("engine", "HDD", "engine: HDD, HDD-msg, SDD-1, MV2PL, 2PL, TO, MVTO, or 'all'")
+		engine    = flag.String("engine", "HDD", "engine: "+strings.Join(enginereg.Names(), ", ")+", or 'all'")
 		wl        = flag.String("workload", "inventory", "workload: inventory, banking, chain, star, tree")
 		clients   = flag.Int("clients", 8, "concurrent clients")
 		txns      = flag.Int("txns", 300, "committed transactions per client")
@@ -44,7 +40,7 @@ func main() {
 
 	engines := []string{*engine}
 	if *engine == "all" {
-		engines = []string{"HDD", "HDD-msg", "SDD-1", "MV2PL", "2PL", "TO", "MVTO"}
+		engines = enginereg.Names()
 	}
 
 	tab := metrics.NewTable(
@@ -57,7 +53,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		eng, err := buildEngine(name, part)
+		eng, err := enginereg.Build(name, enginereg.Options{
+			Partition:      part,
+			WallInterval:   512,
+			GCEveryCommits: 256,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -86,27 +86,6 @@ func main() {
 		_ = eng.Close()
 	}
 	fmt.Print(tab)
-}
-
-func buildEngine(name string, part *schema.Partition) (cc.Engine, error) {
-	switch name {
-	case "HDD":
-		return core.NewEngine(core.Config{Partition: part, WallInterval: 512, GCEveryCommits: 256})
-	case "HDD-msg":
-		return segctl.NewEngine(segctl.Config{Partition: part, WallInterval: 512})
-	case "SDD-1":
-		return sdd1.NewEngine(sdd1.Config{Partition: part})
-	case "MV2PL":
-		return twopl.NewEngine(twopl.Config{Variant: twopl.MultiVersion}), nil
-	case "2PL":
-		return twopl.NewEngine(twopl.Config{Variant: twopl.Strict}), nil
-	case "TO":
-		return tso.NewBasic(tso.BasicConfig{}), nil
-	case "MVTO":
-		return tso.NewMVTO(tso.MVTOConfig{}), nil
-	default:
-		return nil, fmt.Errorf("hddsim: unknown engine %q", name)
-	}
 }
 
 func buildWorkload(name string, segments int, crossfrac, hotfrac float64, roWeight int) (*schema.Partition, []sim.TxnKind, error) {

@@ -71,6 +71,31 @@ type (
 	Stats = cc.Stats
 	// Recorder observes schedules for offline checking.
 	Recorder = sched.Recorder
+	// Capability is the bitmask of optional backend capabilities an engine
+	// implements (see internal/cc and DESIGN.md §12). The networked client
+	// reports the serving engine's set via Client.ServerInfo.
+	Capability = cc.Capability
+)
+
+// Capability bits. An engine that lacks a bit answers the corresponding
+// operations with ErrNotSupported (locally and over the wire).
+const (
+	// CapForceAbort: force-abort of in-flight transactions with reaper
+	// semantics (orphan cleanup).
+	CapForceAbort = cc.CapForceAbort
+	// CapTimeoutBegin: per-transaction deadlines via BeginWithTimeout.
+	CapTimeoutBegin = cc.CapTimeoutBegin
+	// CapAdHocBegin: §7.1 ad-hoc updates with declared access sets.
+	CapAdHocBegin = cc.CapAdHocBegin
+	// CapScopedReadOnly: read-only transactions declared over a segment
+	// set via BeginReadOnlyFor.
+	CapScopedReadOnly = cc.CapScopedReadOnly
+	// CapActiveTxns: live in-flight transaction counting.
+	CapActiveTxns = cc.CapActiveTxns
+	// CapDurability: a durability layer is present and enabled.
+	CapDurability = cc.CapDurability
+	// CapCheckpoint: explicit snapshot/checkpointing of committed state.
+	CapCheckpoint = cc.CapCheckpoint
 )
 
 // NoClass marks read-only transactions, which belong to no update class.
@@ -97,6 +122,13 @@ var ErrEngineClosed = cc.ErrEngineClosed
 // — and it arrives identically from the embedded engine and over the wire
 // (wire.StatusDurabilityFailed).
 var ErrDurabilityFailed = cc.ErrDurabilityFailed
+
+// ErrNotSupported is returned — locally or across the wire
+// (wire.StatusUnsupported) — when an operation needs a capability the
+// serving engine does not implement, e.g. BeginAdHocFor against a 2PL
+// baseline. It is not an abort; feature-detect with Client.ServerInfo (or
+// cc.CapabilitiesOf embedded) instead of retrying.
+var ErrNotSupported = cc.ErrNotSupported
 
 // NewPartition validates a hierarchical decomposition: one update class
 // per segment (class i rooted in segment i), with the induced data

@@ -1,0 +1,55 @@
+package core
+
+// The HDD engine implements every optional backend capability of the
+// service stack's contract (internal/cc, DESIGN.md §12). The assertions
+// here are the compile-time half of that claim; DurabilityState is the
+// engine-neutral flattening of DurabilityStats the server and client
+// consume without importing core.
+
+import "hdd/internal/cc"
+
+var (
+	_ cc.ForceAborter           = (*Engine)(nil)
+	_ cc.TimeoutBeginner        = (*Engine)(nil)
+	_ cc.AdHocBeginner          = (*Engine)(nil)
+	_ cc.ScopedReadOnlyBeginner = (*Engine)(nil)
+	_ cc.ActiveTxnCounter       = (*Engine)(nil)
+	_ cc.DurabilityIntrospector = (*Engine)(nil)
+	_ cc.Checkpointer           = (*Engine)(nil)
+)
+
+// DurabilityState implements cc.DurabilityIntrospector: the durability
+// counters as an engine-neutral flat list, and whether durability is
+// enabled at all for this instance. The counter names are the wire-stable
+// vocabulary the server's Stats opcode exposes; booleans are 0/1.
+func (e *Engine) DurabilityState() (cc.DurabilityState, bool) {
+	ds, ok := e.DurabilityStats()
+	if !ok {
+		return cc.DurabilityState{}, false
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return cc.DurabilityState{
+		Degraded: ds.Degraded,
+		Cause:    ds.DegradedCause,
+		Counters: []cc.StatKV{
+			{Name: "wal_records", Value: ds.WAL.Records},
+			{Name: "wal_flush_batches", Value: ds.WAL.Batches},
+			{Name: "wal_flushed_bytes", Value: ds.WAL.FlushedBytes},
+			{Name: "wal_syncs", Value: ds.WAL.Syncs},
+			{Name: "wal_commit_waits", Value: ds.WAL.CommitWaits},
+			{Name: "wal_log_bytes", Value: ds.LogBytes},
+			{Name: "wal_snapshots", Value: ds.Snapshots},
+			{Name: "wal_snapshot_errs", Value: ds.SnapshotErrs},
+			{Name: "wal_replayed_records", Value: ds.Recovery.ReplayedRecords},
+			{Name: "wal_recovery_ns", Value: int64(ds.Recovery.Duration)},
+			{Name: "wal_snapshot_loaded", Value: b2i(ds.Recovery.SnapshotLoaded)},
+			{Name: "wal_torn_tail", Value: b2i(ds.Recovery.TornTail)},
+			{Name: "wal_high_water", Value: int64(ds.Recovery.HighWater)},
+		},
+	}, true
+}

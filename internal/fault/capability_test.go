@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/twopl"
+)
+
+// TestCapabilityPassthrough: wrapping *core.Engine must not hide its
+// extended surface — the wrapper reports the inner engine's capability set
+// and delegates every capability, injecting faults into transactions the
+// Begin-family capabilities hand out.
+func TestCapabilityPassthrough(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{Seed: 1})
+
+	inner, outer := cc.CapabilitiesOf(e), cc.CapabilitiesOf(f)
+	if inner != outer {
+		t.Fatalf("capabilities changed through the wrapper: inner %v, outer %v", inner, outer)
+	}
+	want := cc.CapForceAbort | cc.CapTimeoutBegin | cc.CapAdHocBegin |
+		cc.CapScopedReadOnly | cc.CapActiveTxns
+	if !outer.Has(want) {
+		t.Fatalf("capabilities = %v, want at least %v", outer, want)
+	}
+	// Memory-only engine: no durability capability.
+	if outer.Has(cc.CapDurability) || outer.Has(cc.CapCheckpoint) {
+		t.Fatalf("memory-only engine reports durability capabilities: %v", outer)
+	}
+
+	// BeginWithTimeout through the wrapper hands out a fault-injected txn.
+	b, ok := cc.AsTimeoutBeginner(f)
+	if !ok {
+		t.Fatal("AsTimeoutBeginner(wrapper) = false with a capable inner engine")
+	}
+	txn, err := b.BeginWithTimeout(0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := txn.(*Txn)
+	if !ok {
+		t.Fatalf("BeginWithTimeout returned %T, want a fault-wrapped *Txn", txn)
+	}
+
+	// ForceAbort through the wrapper reaches the inner engine's reap path.
+	fa, ok := cc.AsForceAborter(f)
+	if !ok {
+		t.Fatal("AsForceAborter(wrapper) = false with a capable inner engine")
+	}
+	if !fa.ForceAbort(txn.ID()) {
+		t.Fatal("ForceAbort through the wrapper did not find the transaction")
+	}
+	if err := ft.Inner().Write(g(0, 1), []byte("dead")); !cc.IsAbort(err) {
+		t.Fatalf("write after force-abort: %v, want abort", err)
+	}
+	if e.Stats().ReapedTxns < 1 {
+		t.Fatal("ForceAbort did not use reaper semantics")
+	}
+
+	// Ad-hoc and scoped read-only begins delegate and wrap.
+	ah, ok := cc.AsAdHocBeginner(f)
+	if !ok {
+		t.Fatal("AsAdHocBeginner(wrapper) = false")
+	}
+	at, err := ah.BeginAdHocFor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := at.(*Txn); !ok {
+		t.Fatalf("BeginAdHocFor returned %T, want *Txn", at)
+	}
+	if err := at.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	ro, ok := cc.AsScopedReadOnlyBeginner(f)
+	if !ok {
+		t.Fatal("AsScopedReadOnlyBeginner(wrapper) = false")
+	}
+	rt, err := ro.BeginReadOnlyFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.(*Txn); !ok {
+		t.Fatalf("BeginReadOnlyFor returned %T, want *Txn", rt)
+	}
+	if err := rt.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCapabilityFaultsApplyToExtendedBegins: transactions from capability
+// begins are subject to injection like any other — a CrashProb=1 client
+// crashes on its first operation.
+func TestCapabilityFaultsApplyToExtendedBegins(t *testing.T) {
+	e := testEngine(t)
+	f := Wrap(e, Config{Seed: 7, CrashProb: 1})
+	txn, err := f.BeginWithTimeout(0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(g(0, 1), []byte("v")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write = %v, want ErrCrashed", err)
+	}
+	// The abandoned inner transaction is the reaper's problem, as always.
+	if n := e.ActiveTxns(); n != 1 {
+		t.Fatalf("ActiveTxns = %d after simulated crash, want 1", n)
+	}
+	if !e.ForceAbort(txn.ID()) {
+		t.Fatal("inner transaction not reapable")
+	}
+}
+
+// TestCapabilityVetoOnBareEngine: wrapping an engine without the extended
+// surface must not invent it — the As* helpers refuse, and calling the
+// structural methods anyway fails typed, never panics.
+func TestCapabilityVetoOnBareEngine(t *testing.T) {
+	f := Wrap(twopl.NewEngine(twopl.Config{Variant: twopl.MultiVersion}), Config{Seed: 1})
+
+	if caps := cc.CapabilitiesOf(f); caps != 0 {
+		t.Fatalf("capabilities of wrapped bare engine = %v, want none", caps)
+	}
+	if _, ok := cc.AsForceAborter(f); ok {
+		t.Fatal("AsForceAborter = true for a bare inner engine")
+	}
+	if _, ok := cc.AsTimeoutBeginner(f); ok {
+		t.Fatal("AsTimeoutBeginner = true for a bare inner engine")
+	}
+	if _, ok := cc.AsDurabilityIntrospector(f); ok {
+		t.Fatal("AsDurabilityIntrospector = true for a bare inner engine")
+	}
+	if fa := f.ForceAbort(1); fa {
+		t.Fatal("ForceAbort on a bare inner engine reported success")
+	}
+	if _, err := f.BeginWithTimeout(0, time.Second); !errors.Is(err, cc.ErrNotSupported) {
+		t.Fatalf("BeginWithTimeout = %v, want ErrNotSupported", err)
+	}
+	if _, err := f.BeginAdHocFor(0); !errors.Is(err, cc.ErrNotSupported) {
+		t.Fatalf("BeginAdHocFor = %v, want ErrNotSupported", err)
+	}
+	if err := f.Snapshot(); !errors.Is(err, cc.ErrNotSupported) {
+		t.Fatalf("Snapshot = %v, want ErrNotSupported", err)
+	}
+	if _, on := f.DurabilityState(); on {
+		t.Fatal("DurabilityState reports enabled for a bare inner engine")
+	}
+}

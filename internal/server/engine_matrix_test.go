@@ -1,0 +1,321 @@
+package server_test
+
+// The engine matrix: the same service stack — TCP loopback, wire protocol,
+// public client, hdd.RunCtx retry loops — serving different backends
+// through the cc.Engine capability contract. Client-visible semantics must
+// be identical wherever the engines overlap (mixed workloads commit,
+// aborts round-trip as hdd.IsAbort, the stats opcode answers, graceful
+// shutdown drains), and capability-gated opcodes must fail typed — never
+// crash — where a backend lacks the capability.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hdd"
+	"hdd/client"
+	"hdd/internal/cc"
+	"hdd/internal/enginereg"
+	"hdd/internal/server"
+)
+
+// matrixEngines are the backends the matrix runs. HDD is the paper's
+// engine; MV2PL and 2PL provoke aborts via deadlock, MVTO via
+// timestamp-ordering write rejection — covering both abort styles the
+// wire must carry.
+var matrixEngines = []string{"HDD", "MV2PL", "MVTO", "2PL"}
+
+// startEngineServer boots the named registry engine behind a loopback
+// server. Shutdown/cleanup mirrors startServer.
+func startEngineServer(t *testing.T, name string, classes int) (*server.Server, string) {
+	t.Helper()
+	part, err := enginereg.ChainPartition(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := enginereg.Build(name, enginereg.Options{Partition: part, TxnTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+func TestEngineMatrix(t *testing.T) {
+	for _, name := range matrixEngines {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			srv, addr := startEngineServer(t, name, 3)
+			c := dial(t, addr)
+
+			// Hello: the wire reports who we are talking to, and the
+			// capability bits match what the server detected.
+			info, err := c.ServerInfo()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Engine != name {
+				t.Fatalf("ServerInfo.Engine = %q, want %q", info.Engine, name)
+			}
+			if info.Caps != srv.Capabilities() {
+				t.Fatalf("ServerInfo.Caps = %v, server detected %v", info.Caps, srv.Capabilities())
+			}
+			if name == "HDD" && !info.Caps.Has(hdd.CapAdHocBegin|hdd.CapScopedReadOnly|hdd.CapForceAbort) {
+				t.Fatalf("HDD capabilities = %v, missing expected bits", info.Caps)
+			}
+
+			runMixedWorkload(t, addr)
+			provokeAbort(t, c, name)
+			checkCapabilityGating(t, c, info.Caps)
+			checkStats(t, c, info)
+
+			// Graceful shutdown drains: nothing is open, so Shutdown must
+			// complete well inside the deadline with no error.
+			c.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("Shutdown = %v, want clean drain", err)
+			}
+			if n := srv.OpenSessions(); n != 0 {
+				t.Fatalf("OpenSessions = %d after shutdown", n)
+			}
+		})
+	}
+}
+
+// runMixedWorkload is the PR 3 end-to-end mix, engine-agnostic: concurrent
+// workers running updates across the chain's classes plus wall-bounded
+// read-only transactions, all through hdd.RunCtx so engine aborts
+// (rejections or deadlocks alike) are retried, and every transaction must
+// eventually commit.
+func runMixedWorkload(t *testing.T, addr string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const workers, txnsPer = 4, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(worker) + 1))
+			for i := 0; i < txnsPer; i++ {
+				key := rng.Uint64() % 16
+				if rng.Intn(4) == 0 {
+					err = hdd.RunCtx(ctx, c, hdd.NoClass, func(tx hdd.Txn) error {
+						_, err := tx.Read(hdd.GranuleID{Segment: 0, Key: key})
+						return err
+					}, hdd.RetryPolicy{})
+				} else {
+					cls := hdd.ClassID(rng.Intn(3))
+					val := []byte(fmt.Sprintf("w%d-%d", worker, i))
+					err = hdd.RunCtx(ctx, c, cls, func(tx hdd.Txn) error {
+						if cls > 0 {
+							if _, err := tx.Read(hdd.GranuleID{Segment: hdd.SegmentID(cls - 1), Key: key}); err != nil {
+								return err
+							}
+						}
+						return tx.Write(hdd.GranuleID{Segment: hdd.SegmentID(cls), Key: key}, val)
+					}, hdd.RetryPolicy{MaxAttempts: -1})
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d txn %d: %w", worker, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// provokeAbort forces each engine's native abort through the wire and
+// checks it arrives as a genuine hdd.IsAbort error with the engine's
+// reason intact.
+func provokeAbort(t *testing.T, c *client.Client, engine string) {
+	t.Helper()
+	switch engine {
+	case "HDD", "MVTO":
+		// Timestamp ordering: a younger transaction registers a read and
+		// commits; the older transaction's write to the same granule then
+		// arrives too late and is rejected.
+		g := hdd.GranuleID{Segment: 0, Key: 9001}
+		older, err := c.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		younger, err := c.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := younger.Read(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := younger.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		err = older.Write(g, []byte("late"))
+		if err == nil {
+			err = older.Commit()
+		} else {
+			defer older.Abort()
+		}
+		if !hdd.IsAbort(err) {
+			t.Fatalf("older write after younger read = %v, want abort", err)
+		}
+		if reason := cc.AbortReason(err); reason != cc.ReasonWriteRejected {
+			t.Fatalf("abort reason %q did not round-trip, want %q", reason, cc.ReasonWriteRejected)
+		}
+
+	case "2PL", "MV2PL":
+		// Deadlock: crossed S->X upgrades. One of the two transactions is
+		// chosen victim (whichever request closes the waits-for cycle), and
+		// its abort must cross the wire typed.
+		g1 := hdd.GranuleID{Segment: 0, Key: 9001}
+		g2 := hdd.GranuleID{Segment: 0, Key: 9002}
+		t1, err := c.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := c.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t1.Read(g1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Read(g2); err != nil {
+			t.Fatal(err)
+		}
+		errs := make(chan error, 2)
+		go func() { errs <- t1.Write(g2, []byte("a")) }()
+		go func() { errs <- t2.Write(g1, []byte("b")) }()
+		e1, e2 := <-errs, <-errs
+		aborted := 0
+		for _, err := range []error{e1, e2} {
+			if err == nil {
+				continue
+			}
+			if !hdd.IsAbort(err) {
+				t.Fatalf("deadlock produced non-abort error: %v", err)
+			}
+			if reason := cc.AbortReason(err); reason != cc.ReasonDeadlock {
+				t.Fatalf("abort reason %q did not round-trip, want %q", reason, cc.ReasonDeadlock)
+			}
+			aborted++
+		}
+		if aborted != 1 {
+			t.Fatalf("deadlock aborted %d of 2 transactions, want exactly 1 victim", aborted)
+		}
+		t1.Abort()
+		t2.Abort()
+
+	default:
+		t.Fatalf("no abort provocation defined for engine %s", engine)
+	}
+}
+
+// checkCapabilityGating probes the capability-gated opcodes: where the
+// engine backs them they work; where it does not, the wire answers the
+// typed unsupported status — errors.Is(err, hdd.ErrNotSupported) — and the
+// session keeps serving afterwards.
+func checkCapabilityGating(t *testing.T, c *client.Client, caps hdd.Capability) {
+	t.Helper()
+	if caps.Has(hdd.CapAdHocBegin) {
+		tx, err := c.BeginAdHocFor(1, 0)
+		if err != nil {
+			t.Fatalf("BeginAdHocFor with capability: %v", err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_, err := c.BeginAdHocFor(1, 0)
+		if !errors.Is(err, hdd.ErrNotSupported) {
+			t.Fatalf("BeginAdHocFor without capability = %v, want ErrNotSupported", err)
+		}
+		if hdd.IsAbort(err) {
+			t.Fatal("ErrNotSupported classified as abort; retry loops would spin")
+		}
+	}
+	if caps.Has(hdd.CapScopedReadOnly) {
+		tx, err := c.BeginReadOnlyFor(0, 1)
+		if err != nil {
+			t.Fatalf("BeginReadOnlyFor with capability: %v", err)
+		}
+		if _, err := tx.Read(hdd.GranuleID{Segment: 0, Key: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_, err := c.BeginReadOnlyFor(0)
+		if !errors.Is(err, hdd.ErrNotSupported) {
+			t.Fatalf("BeginReadOnlyFor without capability = %v, want ErrNotSupported", err)
+		}
+	}
+	// The connection survives unsupported answers: a plain transaction
+	// still works on this client.
+	tx, err := c.Begin(0)
+	if err != nil {
+		t.Fatalf("Begin after capability probes: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkStats exercises the stats opcode against every backend: the shared
+// counters answer for all engines, engine_caps echoes the hello bits, and
+// capability-scoped entries appear exactly when the capability does.
+func checkStats(t *testing.T, c *client.Client, info client.ServerInfo) {
+	t.Helper()
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["commits"] < 1 {
+		t.Fatalf("stats commits = %d after the mixed workload", stats["commits"])
+	}
+	if hdd.Capability(stats["engine_caps"]) != info.Caps {
+		t.Fatalf("engine_caps stat = %v, hello said %v", hdd.Capability(stats["engine_caps"]), info.Caps)
+	}
+	_, hasActive := stats["active_txns"]
+	if hasActive != info.Caps.Has(hdd.CapActiveTxns) {
+		t.Fatalf("active_txns stat present=%v, capability=%v", hasActive, info.Caps.Has(hdd.CapActiveTxns))
+	}
+	_, hasWAL := stats["wal_records"]
+	if hasWAL != info.Caps.Has(hdd.CapDurability) {
+		t.Fatalf("wal_records stat present=%v, durability capability=%v", hasWAL, info.Caps.Has(hdd.CapDurability))
+	}
+}

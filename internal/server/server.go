@@ -1,7 +1,19 @@
-// Package server exposes an HDD engine over a network: a net.Listener
-// based concurrent server speaking the internal/wire protocol, with one
-// session per connection, orphaned-transaction cleanup on disconnect, and
-// graceful shutdown that drains sessions before closing the engine.
+// Package server exposes a concurrency-control engine over a network: a
+// net.Listener based concurrent server speaking the internal/wire
+// protocol, with one session per connection, orphaned-transaction cleanup
+// on disconnect, and graceful shutdown that drains sessions before closing
+// the engine.
+//
+// # Backend contract
+//
+// The server depends on cc.Engine — Begin, BeginReadOnly, Stats, Close —
+// and feature-detects everything else through the optional capability
+// interfaces in internal/cc (DESIGN.md §12). Any of the repo's engines can
+// be served: the HDD engine backs every capability; the baselines (2PL,
+// MV2PL, TO, MVTO, SDD-1) back none. An opcode that needs a missing
+// capability is answered with wire.StatusUnsupported — a typed status the
+// client surfaces as cc.ErrNotSupported — never a panic. Clients can ask
+// first: OpHello carries the engine's name and capability bits.
 //
 // # Session model
 //
@@ -17,9 +29,10 @@
 // the socket — with transactions still open would otherwise stall time
 // walls and GC until the engine's reaper deadline fires. The session's
 // teardown instead force-aborts every open transaction immediately via
-// Engine.ForceAbort, which reuses the reaper's semantics: held versions,
-// gates and wall floors are released and the kill is counted in
-// Stats().ReapedTxns.
+// the engine's ForceAbort capability, which reuses the reaper's semantics:
+// held versions, gates and wall floors are released and the kill is
+// counted in Stats().ReapedTxns. Engines without the capability get a
+// plain Abort, which releases locks/versions through the normal path.
 //
 // # Shutdown ordering
 //
@@ -40,7 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"hdd/internal/core"
+	"hdd/internal/cc"
 	"hdd/internal/metrics"
 	"hdd/internal/wire"
 )
@@ -68,8 +81,20 @@ func (o Options) withDefaults() Options {
 // Server serves an HDD engine over the wire protocol. Create with New,
 // start with Serve (one or more listeners), stop with Shutdown or Close.
 type Server struct {
-	eng  *core.Engine
+	eng  cc.Engine
 	opts Options
+
+	// Capabilities, feature-detected once at construction. caps is the
+	// bitmask OpHello reports; the typed fields are nil when the engine
+	// does not back the capability, and every use is nil-guarded — the
+	// missing-capability answer is a typed status, never a panic.
+	caps       cc.Capability
+	forceAbort cc.ForceAborter
+	adhoc      cc.AdHocBeginner
+	scopedRO   cc.ScopedReadOnlyBeginner
+	activeTxns cc.ActiveTxnCounter
+	dur        cc.DurabilityIntrospector
+	checkpoint cc.Checkpointer
 
 	// commitLat and readLat are the request-level latency histograms
 	// exposed through the Stats wire request (engine-side work only, no
@@ -92,20 +117,33 @@ type Server struct {
 	closeEngineOnce sync.Once
 }
 
-// New builds a server over an open engine. The server assumes ownership of
-// the engine's shutdown: Shutdown/Close call Engine.Close after draining.
-func New(eng *core.Engine, opts Options) *Server {
-	return &Server{
+// New builds a server over any open cc.Engine, feature-detecting the
+// optional capabilities it backs. The server assumes ownership of the
+// engine's shutdown: Shutdown/Close call Engine.Close after draining.
+func New(eng cc.Engine, opts Options) *Server {
+	s := &Server{
 		eng:       eng,
+		caps:      cc.CapabilitiesOf(eng),
 		opts:      opts.withDefaults(),
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
 		drained:   make(chan struct{}),
 	}
+	s.forceAbort, _ = cc.AsForceAborter(eng)
+	s.adhoc, _ = cc.AsAdHocBeginner(eng)
+	s.scopedRO, _ = cc.AsScopedReadOnlyBeginner(eng)
+	s.activeTxns, _ = cc.AsActiveTxnCounter(eng)
+	s.dur, _ = cc.AsDurabilityIntrospector(eng)
+	s.checkpoint, _ = cc.AsCheckpointer(eng)
+	return s
 }
 
 // Engine returns the served engine.
-func (s *Server) Engine() *core.Engine { return s.eng }
+func (s *Server) Engine() cc.Engine { return s.eng }
+
+// Capabilities returns the served engine's feature-detected capability set
+// (what OpHello reports).
+func (s *Server) Capabilities() cc.Capability { return s.caps }
 
 // ListenAndServe listens on addr ("host:port") and serves until Shutdown
 // or Close.
@@ -216,8 +254,8 @@ func (s *Server) Close() error {
 // log — then closes the engine (which flushes and closes the WAL).
 func (s *Server) closeEngine() {
 	s.closeEngineOnce.Do(func() {
-		if _, ok := s.eng.DurabilityStats(); ok {
-			if err := s.eng.Snapshot(); err != nil {
+		if s.checkpoint != nil {
+			if err := s.checkpoint.Snapshot(); err != nil {
 				s.logf("server: final snapshot: %v", err)
 			}
 		}
@@ -302,34 +340,30 @@ func (s *Server) statEntries() []wire.StatEntry {
 		{Name: "reaped_txns", Value: es.ReapedTxns},
 		{Name: "timed_out_reads", Value: es.TimedOutReads},
 		{Name: "durability_failures", Value: es.DurabilityFailures},
-		{Name: "active_txns", Value: int64(s.eng.ActiveTxns())},
+		{Name: "engine_caps", Value: int64(s.caps)},
 		{Name: "conns_accepted", Value: s.connsAccepted.Load()},
 		{Name: "sessions_open", Value: int64(s.OpenSessions())},
 		{Name: "txns_open", Value: s.txnsOpen.Load()},
 		{Name: "force_aborts", Value: s.forceAborts.Load()},
 	}
+	if s.activeTxns != nil {
+		entries = append(entries, wire.StatEntry{Name: "active_txns", Value: int64(s.activeTxns.ActiveTxns())})
+	}
 	entries = appendHistogram(entries, "commit", &s.commitLat)
 	entries = appendHistogram(entries, "read", &s.readLat)
-	if ds, ok := s.eng.DurabilityStats(); ok {
-		entries = append(entries,
-			wire.StatEntry{Name: "wal_records", Value: ds.WAL.Records},
-			wire.StatEntry{Name: "wal_flush_batches", Value: ds.WAL.Batches},
-			wire.StatEntry{Name: "wal_flushed_bytes", Value: ds.WAL.FlushedBytes},
-			wire.StatEntry{Name: "wal_syncs", Value: ds.WAL.Syncs},
-			wire.StatEntry{Name: "wal_commit_waits", Value: ds.WAL.CommitWaits},
-			wire.StatEntry{Name: "wal_log_bytes", Value: ds.LogBytes},
-			wire.StatEntry{Name: "wal_snapshots", Value: ds.Snapshots},
-			wire.StatEntry{Name: "wal_snapshot_errs", Value: ds.SnapshotErrs},
-			wire.StatEntry{Name: "wal_replayed_records", Value: ds.Recovery.ReplayedRecords},
-			wire.StatEntry{Name: "wal_recovery_ns", Value: int64(ds.Recovery.Duration)},
-		)
-		// degraded is 0/1 rather than a counter: the fail-stop flag clients
-		// and operators poll for (DESIGN.md §11).
-		degraded := int64(0)
-		if ds.Degraded {
-			degraded = 1
+	if s.dur != nil {
+		if ds, ok := s.dur.DurabilityState(); ok {
+			for _, kv := range ds.Counters {
+				entries = append(entries, wire.StatEntry{Name: kv.Name, Value: kv.Value})
+			}
+			// degraded is 0/1 rather than a counter: the fail-stop flag clients
+			// and operators poll for (DESIGN.md §11).
+			degraded := int64(0)
+			if ds.Degraded {
+				degraded = 1
+			}
+			entries = append(entries, wire.StatEntry{Name: "durability_degraded", Value: degraded})
 		}
-		entries = append(entries, wire.StatEntry{Name: "durability_degraded", Value: degraded})
 	}
 	return entries
 }

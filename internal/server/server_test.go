@@ -70,6 +70,17 @@ func startServer(t *testing.T, classes int, cfg core.Config, opts server.Options
 	return srv, l.Addr().String()
 }
 
+// engineActiveTxns reaches the served engine's active-txns capability; the
+// engines these tests serve all back it.
+func engineActiveTxns(t *testing.T, srv *server.Server) int {
+	t.Helper()
+	a, ok := cc.AsActiveTxnCounter(srv.Engine())
+	if !ok {
+		t.Fatal("served engine lacks the active-txns capability")
+	}
+	return a.ActiveTxns()
+}
+
 func dial(t *testing.T, addr string, opts ...client.Option) *client.Client {
 	t.Helper()
 	c, err := client.Dial(addr, opts...)
@@ -297,7 +308,7 @@ func TestOrphanedConnectionForceAbort(t *testing.T) {
 	if resp.Status != wire.StatusOK {
 		t.Fatalf("begin ad-hoc: %+v", resp)
 	}
-	if n := srv.Engine().ActiveTxns(); n != 1 {
+	if n := engineActiveTxns(t, srv); n != 1 {
 		t.Fatalf("ActiveTxns = %d with the orphan open", n)
 	}
 
@@ -319,7 +330,7 @@ func TestOrphanedConnectionForceAbort(t *testing.T) {
 		t.Fatalf("Begin took %v; orphan cleanup should not wait for the reaper deadline", waited)
 	}
 
-	waitFor(t, time.Second, func() bool { return srv.Engine().ActiveTxns() == 0 })
+	waitFor(t, time.Second, func() bool { return engineActiveTxns(t, srv) == 0 })
 	if srv.ForcedAborts() < 1 {
 		t.Fatalf("ForcedAborts = %d, want >= 1", srv.ForcedAborts())
 	}
@@ -444,7 +455,7 @@ func TestShutdownDeadlineForceAborts(t *testing.T) {
 	if n := srv.OpenSessions(); n != 0 {
 		t.Fatalf("OpenSessions = %d after forced shutdown", n)
 	}
-	if n := srv.Engine().ActiveTxns(); n != 0 {
+	if n := engineActiveTxns(t, srv); n != 0 {
 		t.Fatalf("ActiveTxns = %d after forced shutdown", n)
 	}
 	if reaped := srv.Engine().Stats().ReapedTxns; reaped < 1 {
@@ -509,7 +520,7 @@ func TestClientCloseAbortsPinnedTxn(t *testing.T) {
 
 	// Server-side cleanup is prompt — nowhere near the 1-minute deadline.
 	waitFor(t, 5*time.Second, func() bool {
-		return srv.Engine().ActiveTxns() == 0
+		return engineActiveTxns(t, srv) == 0
 	})
 	if n := srv.ForcedAborts(); n < 1 {
 		t.Fatalf("ForcedAborts = %d, want >= 1", n)

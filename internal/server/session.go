@@ -148,12 +148,33 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		if s.srv.isDraining() {
 			return errResponse(cc.ErrEngineClosed)
 		}
+		if s.srv.adhoc == nil {
+			return errResponse(cc.NotSupported(s.srv.eng.Name(), "BeginAdHocFor"))
+		}
 		reads := make([]schema.SegmentID, len(req.ReadSegs))
 		for i, r := range req.ReadSegs {
 			reads[i] = schema.SegmentID(r)
 		}
-		t, err := s.srv.eng.BeginAdHocFor(schema.SegmentID(req.WriteSeg), reads...)
+		t, err := s.srv.adhoc.BeginAdHocFor(schema.SegmentID(req.WriteSeg), reads...)
 		return s.beginResponse(t, err)
+
+	case wire.OpBeginReadOnlyFor:
+		if s.srv.isDraining() {
+			return errResponse(cc.ErrEngineClosed)
+		}
+		if s.srv.scopedRO == nil {
+			return errResponse(cc.NotSupported(s.srv.eng.Name(), "BeginReadOnlyFor"))
+		}
+		segs := make([]schema.SegmentID, len(req.ReadSegs))
+		for i, r := range req.ReadSegs {
+			segs[i] = schema.SegmentID(r)
+		}
+		t, err := s.srv.scopedRO.BeginReadOnlyFor(segs...)
+		return s.beginResponse(t, err)
+
+	case wire.OpHello:
+		return &wire.Response{Status: wire.StatusOK,
+			EngineName: s.srv.eng.Name(), Caps: uint64(s.srv.caps)}
 
 	case wire.OpRead:
 		t, ok := s.txns[req.Txn]
@@ -239,16 +260,23 @@ func (s *session) dropTxn(id uint64) {
 // teardown ends the session: every still-open transaction is force-aborted
 // with reaper semantics (releasing held versions, gates, and wall floors
 // immediately rather than waiting for its deadline), the connection is
-// closed, and the session is deregistered.
+// closed, and the session is deregistered. Engines without the ForceAbort
+// capability get a plain Abort, which releases locks/versions through the
+// normal path — still counted as an orphan cleanup when it lands.
 func (s *session) teardown() {
 	for id, t := range s.txns {
-		if s.srv.eng.ForceAbort(cc.TxnID(id)) {
+		switch {
+		case s.srv.forceAbort != nil && s.srv.forceAbort.ForceAbort(cc.TxnID(id)):
 			s.srv.forceAborts.Add(1)
-		} else {
+		case s.srv.forceAbort != nil:
 			// Already finished (a racing reaper or engine close); Abort is
 			// a no-op on a finished transaction but tidies the non-reaped
 			// paths.
 			t.Abort()
+		default:
+			if err := t.Abort(); err == nil {
+				s.srv.forceAborts.Add(1)
+			}
 		}
 		s.dropTxn(id)
 	}

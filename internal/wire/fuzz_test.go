@@ -18,6 +18,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Op: OpBegin, Class: 1},
 		{Op: OpBeginReadOnly},
 		{Op: OpBeginAdHocFor, WriteSeg: 2, ReadSegs: []int32{0, 1}},
+		{Op: OpBeginReadOnlyFor, ReadSegs: []int32{0, 2}},
+		{Op: OpHello},
 		{Op: OpRead, Txn: 7, Seg: 1, Key: 9},
 		{Op: OpWrite, Txn: 7, Seg: 1, Key: 9, Value: []byte("value")},
 		{Op: OpCommit, Txn: 7},
@@ -35,6 +37,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{0, byte(OpBegin), 0, 0, 0, 1})
 	f.Add([]byte{Version, byte(OpWrite), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{Version, byte(OpBeginAdHocFor), 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Add([]byte{Version, byte(OpBeginReadOnlyFor), 0xFF, 0xFF})
 	f.Add(append(AppendRequest(nil, &Request{Op: OpCommit, Txn: 1}), 0))
 	f.Fuzz(func(t *testing.T, p []byte) {
 		req, err := DecodeRequest(p)
@@ -56,7 +59,8 @@ func FuzzDecodeRequest(f *testing.F) {
 }
 
 func FuzzDecodeResponse(f *testing.F) {
-	ops := []Op{OpBegin, OpBeginReadOnly, OpBeginAdHocFor, OpRead, OpWrite, OpCommit, OpAbort, OpStats}
+	ops := []Op{OpBegin, OpBeginReadOnly, OpBeginAdHocFor, OpRead, OpWrite, OpCommit, OpAbort, OpStats,
+		OpHello, OpBeginReadOnlyFor}
 	for _, c := range []struct {
 		op   Op
 		resp Response
@@ -66,6 +70,9 @@ func FuzzDecodeResponse(f *testing.F) {
 		{OpCommit, Response{Status: StatusAbort, Reason: "write-rejected", Message: "m"}},
 		{OpStats, Response{Status: StatusOK, Stats: []StatEntry{{Name: "commits", Value: 1}}}},
 		{OpWrite, Response{Status: StatusEngineClosed, Message: "closed"}},
+		{OpHello, Response{Status: StatusOK, EngineName: "HDD", Caps: 0x7F}},
+		{OpBeginReadOnlyFor, Response{Status: StatusOK, Txn: 4, Class: -1}},
+		{OpBeginAdHocFor, Response{Status: StatusUnsupported, Message: "not supported"}},
 	} {
 		c := c
 		f.Add(byte(c.op), AppendResponse(nil, c.op, &c.resp))

@@ -69,6 +69,14 @@ const (
 	OpCommit        Op = 6 // commit an open transaction
 	OpAbort         Op = 7 // abort an open transaction
 	OpStats         Op = 8 // snapshot engine + server counters
+	// OpHello reports what the connection is talking to: the backend
+	// engine's name and its capability bits (cc.Capability), so a client
+	// can feature-detect before issuing capability-gated opcodes.
+	OpHello Op = 9
+	// OpBeginReadOnlyFor begins a read-only transaction declared over a
+	// segment set (cc.ScopedReadOnlyBeginner); the engine picks the
+	// freshest protocol the declaration allows.
+	OpBeginReadOnlyFor Op = 10
 )
 
 // String renders an opcode for diagnostics.
@@ -90,6 +98,10 @@ func (o Op) String() string {
 		return "Abort"
 	case OpStats:
 		return "Stats"
+	case OpHello:
+		return "Hello"
+	case OpBeginReadOnlyFor:
+		return "BeginReadOnlyFor"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
@@ -118,6 +130,12 @@ const (
 	// reads only. The client surfaces cc.ErrDurabilityFailed — not an
 	// abort, so retry loops stop instead of hammering a poisoned engine.
 	StatusDurabilityFailed Status = 5
+	// StatusUnsupported reports that the opcode needs a capability the
+	// serving backend does not implement (e.g. OpBeginAdHocFor against a
+	// 2PL engine). The client surfaces cc.ErrNotSupported — typed, not a
+	// panic or a generic error, so callers can feature-detect by probing
+	// or, better, read the capability bits from OpHello first.
+	StatusUnsupported Status = 6
 )
 
 // Request is the decoded form of one request frame. Fields beyond Op are
@@ -128,6 +146,7 @@ type Request struct {
 	// Class is the update class for OpBegin.
 	Class int32
 	// WriteSeg and ReadSegs declare an OpBeginAdHocFor access set.
+	// ReadSegs alone declares an OpBeginReadOnlyFor read scope.
 	WriteSeg int32
 	ReadSegs []int32
 
@@ -157,6 +176,11 @@ type Response struct {
 
 	// Stats answers OpStats.
 	Stats []StatEntry
+
+	// EngineName and Caps answer OpHello: the backend engine's Name() and
+	// its capability bits (cc.Capability widened to uint64).
+	EngineName string
+	Caps       uint64
 
 	// Reason is the abort reason for StatusAbort (cc.AbortReason).
 	Reason string
@@ -225,10 +249,15 @@ func AppendRequest(buf []byte, req *Request) []byte {
 	switch req.Op {
 	case OpBegin:
 		e.i32(req.Class)
-	case OpBeginReadOnly, OpStats:
+	case OpBeginReadOnly, OpStats, OpHello:
 		// no operands
 	case OpBeginAdHocFor:
 		e.i32(req.WriteSeg)
+		e.u16(uint16(len(req.ReadSegs)))
+		for _, s := range req.ReadSegs {
+			e.i32(s)
+		}
+	case OpBeginReadOnlyFor:
 		e.u16(uint16(len(req.ReadSegs)))
 		for _, s := range req.ReadSegs {
 			e.i32(s)
@@ -261,13 +290,24 @@ func DecodeRequest(p []byte) (Request, error) {
 	switch req.Op {
 	case OpBegin:
 		req.Class = d.i32()
-	case OpBeginReadOnly, OpStats:
+	case OpBeginReadOnly, OpStats, OpHello:
 		// no operands
 	case OpBeginAdHocFor:
 		req.WriteSeg = d.i32()
 		n := int(d.u16())
 		if d.err == nil && n*4 > len(d.b) {
 			return Request{}, fmt.Errorf("wire: ad-hoc read set declares %d segments, only %d bytes remain", n, len(d.b))
+		}
+		if d.err == nil && n > 0 {
+			req.ReadSegs = make([]int32, n)
+			for i := range req.ReadSegs {
+				req.ReadSegs[i] = d.i32()
+			}
+		}
+	case OpBeginReadOnlyFor:
+		n := int(d.u16())
+		if d.err == nil && n*4 > len(d.b) {
+			return Request{}, fmt.Errorf("wire: read-only scope declares %d segments, only %d bytes remain", n, len(d.b))
 		}
 		if d.err == nil && n > 0 {
 			req.ReadSegs = make([]int32, n)
@@ -308,9 +348,12 @@ func AppendResponse(buf []byte, op Op, resp *Response) []byte {
 		return e.buf
 	}
 	switch op {
-	case OpBegin, OpBeginReadOnly, OpBeginAdHocFor:
+	case OpBegin, OpBeginReadOnly, OpBeginAdHocFor, OpBeginReadOnlyFor:
 		e.u64(resp.Txn)
 		e.i32(resp.Class)
+	case OpHello:
+		e.str(resp.EngineName)
+		e.u64(resp.Caps)
 	case OpRead:
 		if resp.Found {
 			e.u8(1)
@@ -342,9 +385,12 @@ func DecodeResponse(op Op, p []byte) (Response, error) {
 	switch resp.Status {
 	case StatusOK:
 		switch op {
-		case OpBegin, OpBeginReadOnly, OpBeginAdHocFor:
+		case OpBegin, OpBeginReadOnly, OpBeginAdHocFor, OpBeginReadOnlyFor:
 			resp.Txn = d.u64()
 			resp.Class = d.i32()
+		case OpHello:
+			resp.EngineName = d.str()
+			resp.Caps = d.u64()
 		case OpRead:
 			switch b := d.u8(); {
 			case d.err != nil:
@@ -372,7 +418,7 @@ func DecodeResponse(op Op, p []byte) (Response, error) {
 		default:
 			return Response{}, fmt.Errorf("wire: unknown opcode %d for response", byte(op))
 		}
-	case StatusAbort, StatusEngineClosed, StatusTxnDone, StatusError, StatusDurabilityFailed:
+	case StatusAbort, StatusEngineClosed, StatusTxnDone, StatusError, StatusDurabilityFailed, StatusUnsupported:
 		resp.Reason = d.str()
 		resp.Message = d.str()
 	default:
@@ -394,6 +440,8 @@ func StatusOf(err error) (st Status, reason, msg string) {
 		return StatusEngineClosed, "", err.Error()
 	case errors.Is(err, cc.ErrDurabilityFailed):
 		return StatusDurabilityFailed, "", err.Error()
+	case errors.Is(err, cc.ErrNotSupported):
+		return StatusUnsupported, "", err.Error()
 	case cc.IsAbort(err):
 		return StatusAbort, cc.AbortReason(err), err.Error()
 	case errors.Is(err, cc.ErrTxnDone):
@@ -417,6 +465,8 @@ func (r *Response) Err() error {
 		return cc.ErrEngineClosed
 	case StatusDurabilityFailed:
 		return fmt.Errorf("%w (%s)", cc.ErrDurabilityFailed, r.Message)
+	case StatusUnsupported:
+		return fmt.Errorf("%w (%s)", cc.ErrNotSupported, r.Message)
 	case StatusTxnDone:
 		return fmt.Errorf("%s: %w", "hdd server", cc.ErrTxnDone)
 	default:

@@ -26,6 +26,9 @@ func requestCases() []Request {
 		{Op: OpCommit, Txn: 42},
 		{Op: OpAbort, Txn: 99},
 		{Op: OpStats},
+		{Op: OpHello},
+		{Op: OpBeginReadOnlyFor, ReadSegs: []int32{0, 3}},
+		{Op: OpBeginReadOnlyFor},
 	}
 }
 
@@ -71,6 +74,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{OpStats, Response{Status: StatusOK, Stats: []StatEntry{
 			{Name: "commits", Value: 12}, {Name: "aborts", Value: -3}}}},
 		{OpStats, Response{Status: StatusOK}},
+		{OpHello, Response{Status: StatusOK, EngineName: "MV2PL", Caps: 0}},
+		{OpHello, Response{Status: StatusOK, EngineName: "HDD", Caps: 0x7F}},
+		{OpBeginReadOnlyFor, Response{Status: StatusOK, Txn: 21, Class: -1}},
+		{OpBeginAdHocFor, Response{Status: StatusUnsupported, Message: "MV2PL does not implement BeginAdHocFor"}},
 	}
 	for i, c := range cases {
 		p := AppendResponse(nil, c.op, &c.resp)
@@ -160,6 +167,9 @@ func TestDecodeRequestErrors(t *testing.T) {
 			0, 0, 0, 1, // writeSeg
 			0xFF, 0xFF, // 65535 read segments, nothing follows
 		}},
+		{"forged readonly scope count", []byte{Version, byte(OpBeginReadOnlyFor),
+			0xFF, 0xFF, // 65535 segments, nothing follows
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -208,6 +218,9 @@ func TestErrorMappingRoundTrip(t *testing.T) {
 			func(err error) bool { return errors.Is(err, cc.ErrDurabilityFailed) }},
 		{"durability failed is not abort", cc.ErrDurabilityFailed, func(err error) bool { return !cc.IsAbort(err) }},
 		{"plain error", errors.New("boom"), func(err error) bool { return err != nil && !cc.IsAbort(err) }},
+		{"not supported", cc.NotSupported("MV2PL", "BeginAdHocFor"),
+			func(err error) bool { return errors.Is(err, cc.ErrNotSupported) }},
+		{"not supported is not abort", cc.ErrNotSupported, func(err error) bool { return !cc.IsAbort(err) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -11,7 +11,10 @@ import (
 )
 
 // Beginner is the slice of an engine the retry runner needs. *Engine
-// satisfies it, as does any cc.Engine implementation.
+// satisfies it, as does every cc.Engine implementation (Txn and ClassID
+// are aliases of the cc/schema types, so the method sets coincide) and the
+// networked client.Client. beginner_test.go pins the claim for every
+// engine in internal/enginereg.
 type Beginner interface {
 	Begin(class ClassID) (Txn, error)
 	BeginReadOnly() (Txn, error)

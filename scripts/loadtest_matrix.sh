@@ -1,0 +1,32 @@
+#!/bin/sh
+# loadtest_matrix.sh: the live engine matrix — hddload boots an in-process
+# loopback server per registered engine, drives the identical mixed
+# workload through the full client/wire stack against each, and the
+# per-engine latency lines are archived as BENCH_engines.json (the live
+# counterpart of the paper's Figure 10 comparison).
+#
+# Environment knobs (all optional):
+#   ENGINES  comma-separated engine list  (default HDD,HDD-msg,SDD-1,MV2PL,2PL,TO,MVTO)
+#   CLIENTS  concurrent workers           (default 8)
+#   TXNS     transactions per worker      (default 200)
+#   OUT      output JSON path             (default BENCH_engines.json)
+set -eu
+
+ENGINES="${ENGINES:-HDD,HDD-msg,SDD-1,MV2PL,2PL,TO,MVTO}"
+CLIENTS="${CLIENTS:-8}"
+TXNS="${TXNS:-200}"
+OUT="${OUT:-BENCH_engines.json}"
+GO="${GO:-go}"
+
+workdir="$(mktemp -d)"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$workdir/hddload" ./cmd/hddload
+"$GO" build -o "$workdir/benchjson" ./cmd/benchjson
+
+echo "loadtest-matrix: engines $ENGINES, $CLIENTS clients x $TXNS txns" >&2
+"$workdir/hddload" -engines "$ENGINES" -clients "$CLIENTS" -txns "$TXNS" \
+	| "$workdir/benchjson" -out "$OUT"
+
+echo "loadtest-matrix: wrote $OUT" >&2
