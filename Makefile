@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke obs-smoke
 
 all: build vet test
 
@@ -69,6 +69,13 @@ loadtest-matrix:
 # -data-dir, verify WAL replay and a clean follow-up load.
 recovery-smoke:
 	sh scripts/recovery_smoke.sh
+
+# Observability smoke: the obs package (registry, trace ring, HTTP
+# handler) and the server's end-to-end scrape/health tests, all under
+# the race detector. See DESIGN.md §13.
+obs-smoke:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/server/ -run 'TestMetricsEndToEnd|TestHealthzDegraded'
 
 # Short fixed-budget fuzz of the WAL decoder and replay loop (the
 # checked-in corpus under internal/wal/testdata runs on every `go test`).

@@ -32,9 +32,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,6 +84,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 		skipDrain = flag.Bool("skip-drain-check", false, "do not verify zero leaked sessions at the end")
+
+		metricsAddr = flag.String("metrics-addr", "", "server's -metrics-addr endpoint to scrape after the run (single-server mode); folds WAL fsync and per-class commit series into the bench output")
+		metricsOut  = flag.String("metrics-out", "", "write the raw end-of-run /metrics snapshot to this file")
 	)
 	flag.Parse()
 	if *clients < 1 || *txns < 1 || *classes < 1 {
@@ -122,9 +129,94 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hddload: drain check ok — zero leaked sessions/transactions")
 		}
 	}
+	if *metricsAddr != "" {
+		// Scrape after the drain check so the snapshot reflects the
+		// settled end-of-run state, not transactions still unwinding.
+		if err := scrapeMetrics(*metricsAddr, *metricsOut, cfg.clients, res.elapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "hddload: metrics scrape: %v\n", err)
+			ok = false
+		}
+	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// scrapeMetrics pulls the server's /metrics endpoint once the load is
+// done, optionally archives the raw snapshot, and folds the series the
+// net benchmarks track — WAL fsync latency and per-class commit counts —
+// into the same bench-line stream emitBench writes, so benchjson lands
+// them in BENCH_net.json alongside the client-side latencies.
+func scrapeMetrics(addr, outPath string, clients int, elapsed time.Duration) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hddload: wrote metrics snapshot to %s\n", outPath)
+	}
+	series := parseExposition(string(body))
+
+	// WAL fsync: the summary's _sum/_count give mean seconds per fsync.
+	if cnt := series["hdd_wal_fsync_seconds_count"]; cnt > 0 {
+		sum := series["hdd_wal_fsync_seconds_sum"]
+		fmt.Printf("BenchmarkNetWalFsync-%d\t%d\t%.1f ns/op\n",
+			clients, int64(cnt), sum/cnt*1e9)
+	}
+	// Per-class commits: wall-time per commit within each class, so the
+	// chain partition's class skew is visible in BENCH_net.json.
+	var classes []string
+	for name := range series {
+		if strings.HasPrefix(name, `hdd_txn_commits_total{class="`) {
+			classes = append(classes, name)
+		}
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		cnt := series[name]
+		if cnt <= 0 {
+			continue
+		}
+		cls := strings.TrimSuffix(strings.TrimPrefix(name, `hdd_txn_commits_total{class="`), `"}`)
+		fmt.Printf("BenchmarkNetCommitsClass%s-%d\t%d\t%.1f ns/op\n",
+			cls, clients, int64(cnt), float64(elapsed.Nanoseconds())/cnt)
+	}
+	return nil
+}
+
+// parseExposition reads Prometheus text format leniently: comment and
+// blank lines are skipped, every other line is "series value" with the
+// series possibly carrying a {label} block. Unparseable lines are
+// ignored — the strict grammar check lives in the server e2e test.
+func parseExposition(text string) map[string]float64 {
+	series := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		series[strings.TrimSpace(line[:i])] = v
+	}
+	return series
 }
 
 // sweepEngine runs one leg of the engine matrix: boot an in-process server

@@ -20,6 +20,12 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: new transactions are
 // refused, in-flight sessions get -drain-timeout to finish, stragglers are
 // force-aborted, and the engine is closed.
+//
+// -metrics-addr opens a second HTTP listener serving the observability
+// plane (DESIGN.md §13): /metrics (Prometheus text format), /healthz
+// (503 once durability degrades), /debug/events (trace ring), and
+// /debug/pprof. Empty (the default) disables it. -metrics-addr-file
+// mirrors -addr-file for the metrics listener.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +42,7 @@ import (
 
 	"hdd/internal/cc"
 	"hdd/internal/enginereg"
+	"hdd/internal/obs"
 	"hdd/internal/server"
 	"hdd/internal/vclock"
 )
@@ -43,6 +51,8 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks a free port)")
 		addrFile     = flag.String("addr-file", "", "write the actual listen address here once listening")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP listen address for /metrics, /healthz, /debug/events, /debug/pprof; empty disables")
+		metricsFile  = flag.String("metrics-addr-file", "", "write the actual metrics listen address here once listening")
 		engine       = flag.String("engine", "HDD", "backend engine: "+strings.Join(enginereg.Names(), ", "))
 		classes      = flag.Int("classes", 3, "number of classes/segments in the chain partition")
 		txnTimeout   = flag.Duration("txn-timeout", 5*time.Second, "engine transaction deadline (reaper force-aborts past it); 0 disables")
@@ -63,6 +73,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// One plane is shared by the engine and the server, so a single
+	// /metrics scrape covers both. Built unconditionally: the Stats
+	// opcode reads it even with -metrics-addr unset.
+	plane := obs.NewPlane()
 	// With -data-dir set, the engine recovers snapshot + WAL before
 	// returning, so the listener only opens on fully recovered state.
 	eng, err := enginereg.Build(*engine, enginereg.Options{
@@ -74,6 +88,7 @@ func main() {
 		WALFlushInterval: *walFlush,
 		WALSyncEach:      *walSyncEach,
 		SnapshotBytes:    *snapshotBytes,
+		Obs:              plane,
 	})
 	if err != nil {
 		fatal(err)
@@ -90,7 +105,7 @@ func main() {
 			counters["wal_torn_tail"] == 1, counters["wal_high_water"])
 	}
 
-	opts := server.Options{IdleTimeout: *idleTimeout}
+	opts := server.Options{IdleTimeout: *idleTimeout, Obs: plane}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -102,17 +117,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "hddserver: listening on %s — engine %s (caps: %v; %d classes, txn-timeout %v)\n",
-		l.Addr(), eng.Name(), srv.Capabilities(), *classes, *txnTimeout)
-	if *addrFile != "" {
-		// Write-then-rename so readers polling the file never observe a
-		// partial address.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
+	// Bind the metrics listener before announcing boot so the single boot
+	// line carries both final addresses and a scraper that reads it never
+	// races the HTTP socket.
+	metricsDisplay := "off"
+	var ml net.Listener
+	if *metricsAddr != "" {
+		ml, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
 			fatal(err)
 		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
-			fatal(err)
+		metricsDisplay = ml.Addr().String()
+	}
+	fmt.Fprintf(os.Stderr, "hddserver: listening on %s metrics=%s — engine %s (caps: %v; %d classes, txn-timeout %v)\n",
+		l.Addr(), metricsDisplay, eng.Name(), srv.Capabilities(), *classes, *txnTimeout)
+	if *addrFile != "" {
+		writeAddrFile(*addrFile, l.Addr().String())
+	}
+	if ml != nil {
+		go http.Serve(ml, srv.Obs().Handler(srv.Health()))
+		if *metricsFile != "" {
+			writeAddrFile(*metricsFile, ml.Addr().String())
 		}
 	}
 
@@ -137,6 +162,18 @@ func main() {
 		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "hddserver: done — %d commits, %d aborts (%d reaped), %d sessions open\n",
 			st.Commits, st.Aborts, st.ReapedTxns, srv.OpenSessions())
+	}
+}
+
+// writeAddrFile publishes a bound listen address write-then-rename, so
+// readers polling the file never observe a partial address.
+func writeAddrFile(path, addr string) {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fatal(err)
 	}
 }
 

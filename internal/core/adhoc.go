@@ -179,6 +179,9 @@ func (e *Engine) beginAdHoc(writeSeg schema.SegmentID, reads []schema.SegmentID,
 	class := schema.ClassID(writeSeg)
 	init := e.act.BeginTxn(int(class), e.clock)
 	e.ctr.Begins.Add(1)
+	if o := e.obs; o != nil {
+		o.beginUpdate(class, init)
+	}
 	e.rec.RecordBegin(init, class, false)
 	t := &adhocTxn{eng: e, init: init, class: class, held: held,
 		readSet: readSet, deadline: deadlineFor(e.txnTimeout)}
@@ -252,6 +255,9 @@ func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 		return nil, err
 	}
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
+	if o := e.obs; o != nil {
+		o.readsAdHoc.Inc()
+	}
 	e.rec.RecordRead(t.init, g, vts, ok)
 	return val, nil
 }
@@ -324,8 +330,11 @@ func (t *adhocTxn) Commit() error {
 	e.live.unregister(t.init)
 	e.gate.unlock(t.held)
 	e.ctr.Commits.Add(1)
+	if o := e.obs; o != nil {
+		o.commitUpdate(t.class)
+	}
 	e.rec.RecordCommit(t.init, at)
-	e.walls.Poll()
+	e.pollWalls()
 	if wait != nil {
 		if err := wait(); err != nil {
 			return e.commitDurabilityErr(t.init, err)
@@ -362,8 +371,14 @@ func (t *adhocTxn) finishAbort(sticky error, reaped bool) bool {
 	if reaped {
 		e.ctr.ReapedTxns.Add(1)
 	}
+	if o := e.obs; o != nil {
+		o.abortUpdate(t.class)
+		if reaped {
+			o.reaped(int32(t.class), t.init)
+		}
+	}
 	e.rec.RecordAbort(t.init, at)
-	e.walls.Poll()
+	e.pollWalls()
 	return true
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"hdd/internal/cc"
 	"hdd/internal/mvstore"
+	"hdd/internal/obs"
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
 	"hdd/internal/vfs"
@@ -104,6 +105,11 @@ type durability struct {
 	degraded atomic.Bool
 	poisonMu sync.Mutex
 	cause    error
+
+	// onPoison, if set, runs exactly once when the fail-stop latch first
+	// sets (the observability plane's degraded trace event). It must not
+	// call back into the durability layer.
+	onPoison func()
 }
 
 // poison latches the fail-stop state with the first cause. Safe to call
@@ -113,11 +119,16 @@ func (d *durability) poison(cause error) {
 		return
 	}
 	d.poisonMu.Lock()
+	first := false
 	if d.cause == nil {
 		d.cause = fmt.Errorf("%w (storage error: %v)", cc.ErrDurabilityFailed, cause)
 		d.degraded.Store(true)
+		first = true
 	}
 	d.poisonMu.Unlock()
+	if first && d.onPoison != nil {
+		d.onPoison()
+	}
 }
 
 // degradedErr returns the sticky typed error once poisoned, else nil.
@@ -192,6 +203,22 @@ func (e *Engine) initDurability(cfg Config) error {
 	if d.snapshotBytes == 0 {
 		d.snapshotBytes = 8 << 20
 	}
+	// The fsync histogram and the flush/degraded hooks are installed
+	// before the log opens so the flusher goroutine never observes them
+	// half-built; the scrape-time WAL counter families follow once the
+	// log exists.
+	var onFlush func(records, bytes int64, syncDur time.Duration)
+	if o := e.obs; o != nil {
+		d.onPoison = func() {
+			o.ring.Record(obs.KindDegraded, obs.NoClass, 0, 0, 0)
+		}
+		o.walFsync = o.reg.Histogram("hdd_wal_fsync_seconds",
+			"Duration of each WAL flush-batch fsync.")
+		onFlush = func(records, bytes int64, syncDur time.Duration) {
+			o.walFsync.Observe(syncDur)
+			o.ring.Record(obs.KindWALFlush, obs.NoClass, records, bytes, syncDur.Microseconds())
+		}
+	}
 
 	// Recovery step 1: load the latest snapshot, if any.
 	var high vclock.Time
@@ -239,6 +266,7 @@ func (e *Engine) initDurability(cfg Config) error {
 		SyncEach:      cfg.WALSyncEach,
 		FS:            fs,
 		OnError:       d.poison,
+		OnFlush:       onFlush,
 	})
 	if err != nil {
 		return err
@@ -263,6 +291,9 @@ func (e *Engine) initDurability(cfg Config) error {
 	d.rec.HighWater = high
 	d.rec.Duration = time.Since(start)
 	e.dur = d
+	if o := e.obs; o != nil {
+		o.registerWAL(e)
+	}
 
 	if d.snapshotBytes > 0 {
 		interval := cfg.SnapshotInterval
@@ -344,6 +375,8 @@ func (e *Engine) Snapshot() error {
 	if err := e.dur.degradedErr(); err != nil {
 		return fmt.Errorf("core: snapshot refused: %w", err)
 	}
+	snapStart := time.Now()
+	superseded := e.dur.log.Size()
 	all := e.gate.lockAll()
 	defer e.gate.unlock(all)
 	// Make the log complete up to the quiesce point first: if the
@@ -384,6 +417,10 @@ func (e *Engine) Snapshot() error {
 		return fmt.Errorf("core: truncating wal after snapshot: %w", err)
 	}
 	e.dur.snapshots.Add(1)
+	if o := e.obs; o != nil {
+		o.ring.Record(obs.KindSnapshot, obs.NoClass, superseded,
+			time.Since(snapStart).Microseconds(), 0)
+	}
 	return nil
 }
 

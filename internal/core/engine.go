@@ -59,6 +59,7 @@ import (
 	"hdd/internal/alink"
 	"hdd/internal/cc"
 	"hdd/internal/mvstore"
+	"hdd/internal/obs"
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
 	"hdd/internal/vfs"
@@ -143,6 +144,11 @@ type Config struct {
 	// SnapshotInterval is how often the snapshotter polls the log size.
 	// Defaults to 1s.
 	SnapshotInterval time.Duration
+	// Obs attaches an observability plane (DESIGN.md §13): the engine
+	// registers its metric families on the plane's registry and records
+	// trace events into its ring. Nil disables all instrumentation at
+	// zero cost. A plane carries the families of exactly one engine.
+	Obs *obs.Plane
 }
 
 // Engine is the HDD concurrency-control engine. It is safe for concurrent
@@ -172,6 +178,10 @@ type Engine struct {
 	// dur is the durability layer (durability.go); nil when the engine is
 	// memory-only.
 	dur *durability
+
+	// obs is the engine-side observability state (obs.go); nil when no
+	// plane is attached.
+	obs *engineObs
 
 	// closed is closed by Close; blocked waiters select on it, and
 	// Begin/Read/Write fail once it is closed.
@@ -221,6 +231,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.gate.init(cfg.Partition)
 	e.live.init()
+	if cfg.Obs != nil {
+		// Built before the durability layer so a degraded event raised
+		// during recovery already has a ring to land in; the WAL metric
+		// families are added by initDurability once the log exists.
+		e.obs = newEngineObs(e, cfg.Obs)
+	}
 	if cfg.Durability == DurabilityWAL {
 		// Recovery runs to completion before NewEngine returns: no
 		// transaction can begin against a half-recovered store.

@@ -4,7 +4,10 @@ package core
 // activity history are pruned against a watermark no future read bound or
 // activity query can reach.
 
-import "hdd/internal/vclock"
+import (
+	"hdd/internal/obs"
+	"hdd/internal/vclock"
+)
 
 // maybeGC runs store GC and activity pruning when the commit counter
 // crosses the configured period. The caller must hold an admission-gate
@@ -18,9 +21,18 @@ func (e *Engine) maybeGC() {
 		return
 	}
 	watermark := e.gcWatermark()
-	e.store.GC(watermark)
+	pruned := e.store.GC(watermark)
 	e.act.PruneBefore(watermark)
 	e.gcRuns.Add(1)
+	e.observeGC(watermark, pruned)
+}
+
+// observeGC records a GC cycle's result on the attached plane.
+func (e *Engine) observeGC(watermark vclock.Time, pruned int) {
+	if o := e.obs; o != nil {
+		o.gcPruned.Add(int64(pruned))
+		o.ring.Record(obs.KindGCPrune, obs.NoClass, int64(watermark), int64(pruned), 0)
+	}
 }
 
 // gcWatermark computes the instant below which no future read bound or
@@ -50,5 +62,6 @@ func (e *Engine) ForceGC() int {
 	watermark := e.gcWatermark()
 	pruned := e.store.GC(watermark)
 	e.act.PruneBefore(watermark)
+	e.observeGC(watermark, pruned)
 	return pruned
 }

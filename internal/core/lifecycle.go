@@ -41,6 +41,9 @@ func (e *Engine) BeginWithTimeout(class schema.ClassID, timeout time.Duration) (
 	// the property every I_old(m) evaluation relies on (see activity.Set).
 	init := e.act.BeginTxn(int(class), e.clock)
 	e.ctr.Begins.Add(1)
+	if o := e.obs; o != nil {
+		o.beginUpdate(class, init)
+	}
 	e.rec.RecordBegin(init, class, false)
 	t := &updateTxn{eng: e, init: init, class: class,
 		deadline: deadlineFor(timeout), cancel: make(chan struct{})}
@@ -62,6 +65,9 @@ func (e *Engine) BeginReadOnly() (cc.Txn, error) {
 	// would prune versions this transaction's wall still directs it to.
 	wall, release := e.walls.AcquireCurrent()
 	e.ctr.Begins.Add(1)
+	if o := e.obs; o != nil {
+		o.beginRO()
+	}
 	e.rec.RecordBegin(init, schema.NoClass, true)
 	t := &readOnlyTxn{eng: e, init: init, wall: wall, release: release,
 		deadline: deadlineFor(e.txnTimeout)}
@@ -103,6 +109,9 @@ func (e *Engine) BeginReadOnlyOnPath(base schema.ClassID) (cc.Txn, error) {
 	}
 	release := e.walls.AcquireFloor(floor)
 	e.ctr.Begins.Add(1)
+	if o := e.obs; o != nil {
+		o.beginRO()
+	}
 	e.rec.RecordBegin(init, schema.NoClass, true)
 	t := &pathReadOnlyTxn{eng: e, init: init, base: base, bounds: bounds,
 		release: release, deadline: deadlineFor(e.txnTimeout)}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hdd/internal/obs"
+)
+
+func scrapeObs(p *obs.Plane) string {
+	var b strings.Builder
+	p.Reg.WritePrometheus(&b)
+	return b.String()
+}
+
+func wantSeries(t *testing.T, out string, lines ...string) {
+	t.Helper()
+	for _, line := range lines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q", line)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+func eventKinds(p *obs.Plane) map[string]int {
+	kinds := make(map[string]int)
+	for _, ev := range p.Events.Snapshot(0) {
+		kinds[ev.Kind.String()]++
+	}
+	return kinds
+}
+
+// TestEngineObsMetrics drives every transaction flavor through an
+// instrumented engine and checks the per-class and per-protocol series.
+func TestEngineObsMetrics(t *testing.T) {
+	part := twoLevel(t)
+	plane := obs.NewPlane()
+	e, err := NewEngine(Config{Partition: part, WallInterval: 2, GCEveryCommits: 2, Obs: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Class 0 update: Protocol B own-root read + write + commit.
+	t0, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, t0, gr(0, 1), "a")
+	mustCommit(t, t0)
+	t0b, _ := e.Begin(0)
+	read(t, t0b, gr(0, 1)) // Protocol B
+	mustCommit(t, t0b)
+
+	// Class 1 update: Protocol A cross-class read, then abort.
+	t1, err := e.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Read(gr(0, 1)); err != nil { // Protocol A (value may be below threshold)
+		t.Fatal(err)
+	}
+	t1.Abort()
+
+	// Protocol C wall reader and an A-path reader.
+	ro, err := e.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Read(gr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, ro)
+	pro, err := e.BeginReadOnlyOnPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pro.Read(gr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	pro.Abort()
+
+	// Ad-hoc §7.1 transaction: exact read + write + commit, counted under
+	// its write segment's class.
+	ah, err := e.BeginAdHocFor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ah.Read(gr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	write(t, ah, gr(1, 1), "b")
+	mustCommit(t, ah)
+
+	out := scrapeObs(plane)
+	wantSeries(t, out,
+		`hdd_txn_begins_total{class="0"} 2`,
+		`hdd_txn_commits_total{class="0"} 2`,
+		`hdd_txn_begins_total{class="1"} 2`, // the update + the ad-hoc
+		`hdd_txn_commits_total{class="1"} 1`,
+		`hdd_txn_aborts_total{class="1"} 1`,
+		`hdd_txn_begins_total{class="ro"} 2`,
+		`hdd_txn_commits_total{class="ro"} 1`,
+		`hdd_txn_aborts_total{class="ro"} 1`,
+		`hdd_reads_total{protocol="A"} 1`,
+		`hdd_reads_total{protocol="A-path"} 1`,
+		`hdd_reads_total{protocol="B"} 1`,
+		`hdd_reads_total{protocol="C"} 1`,
+		`hdd_reads_total{protocol="adhoc"} 1`,
+		`hdd_active_txns 0`,
+		`hdd_durability_degraded 0`,
+	)
+	// Scrape-time families over existing engine state.
+	for _, name := range []string{
+		"hdd_wall_releases_total", "hdd_wall_attempts_total",
+		"hdd_gc_runs_total", "hdd_gc_pruned_versions_total",
+		"hdd_read_registrations_total", "hdd_reaped_txns_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("family %s not registered", name)
+		}
+	}
+
+	kinds := eventKinds(plane)
+	if kinds["begin-window"] == 0 {
+		t.Errorf("no begin-window events; kinds = %v", kinds)
+	}
+	if kinds["wall-release"] == 0 {
+		t.Errorf("no wall-release events; kinds = %v", kinds)
+	}
+	if kinds["gc-prune"] == 0 {
+		t.Errorf("no gc-prune events; kinds = %v", kinds)
+	}
+}
+
+// TestEngineObsDurable checks the WAL families and the flush/snapshot
+// trace events on a durable instrumented engine.
+func TestEngineObsDurable(t *testing.T) {
+	part := twoLevel(t)
+	plane := obs.NewPlane()
+	e, err := NewEngine(Config{
+		Partition:     part,
+		WallInterval:  8,
+		Durability:    DurabilityWAL,
+		DataDir:       t.TempDir(),
+		SnapshotBytes: -1,
+		Obs:           plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for i := 0; i < 5; i++ {
+		txn, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, txn, gr(0, i), "v")
+		mustCommit(t, txn)
+	}
+	if err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := scrapeObs(plane)
+	for _, name := range []string{
+		"hdd_wal_fsync_seconds", "hdd_wal_records_total",
+		"hdd_wal_flush_batches_total", "hdd_wal_syncs_total",
+		"hdd_wal_log_bytes", "hdd_wal_snapshots_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("family %s not registered", name)
+		}
+	}
+	wantSeries(t, out, "hdd_wal_snapshots_total 1")
+	if strings.Contains(out, "hdd_wal_fsync_seconds_count 0\n") {
+		t.Error("fsync histogram recorded nothing despite durable commits")
+	}
+
+	kinds := eventKinds(plane)
+	if kinds["wal-flush"] == 0 {
+		t.Errorf("no wal-flush events; kinds = %v", kinds)
+	}
+	if kinds["snapshot"] != 1 {
+		t.Errorf("snapshot events = %d, want 1; kinds = %v", kinds["snapshot"], kinds)
+	}
+}
+
+// TestEngineObsNilPlane exercises every hook site with no plane attached.
+func TestEngineObsNilPlane(t *testing.T) {
+	e := newEngine(t, twoLevel(t), nil)
+	defer e.Close()
+	txn, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, txn, gr(0, 1), "a")
+	mustCommit(t, txn)
+	ro, err := e.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Read(gr(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, ro)
+	if e.obs != nil {
+		t.Fatal("engine built an obs layer without a plane")
+	}
+}
+
+// TestEngineObsReapEvent checks the reaper leaves a trace event and the
+// per-class abort series counts the kill.
+func TestEngineObsReapEvent(t *testing.T) {
+	part := twoLevel(t)
+	plane := obs.NewPlane()
+	e, err := NewEngine(Config{Partition: part, WallInterval: 8, Obs: plane})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	txn, err := e.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := txn.ID()
+	if !e.ForceAbort(id) {
+		t.Fatal("ForceAbort found no transaction")
+	}
+	found := false
+	for _, ev := range plane.Events.Snapshot(0) {
+		if ev.Kind == obs.KindReap && ev.F1 == int64(id) && ev.Class == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no reap event for txn %d: %+v", id, plane.Events.Snapshot(0))
+	}
+	wantSeries(t, scrapeObs(plane),
+		`hdd_txn_aborts_total{class="0"} 1`,
+		"hdd_reaped_txns_total 1",
+	)
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hdd/internal/cc"
+	"hdd/internal/obs"
 	"hdd/internal/schema"
 )
 
@@ -16,11 +17,24 @@ import (
 // striped registry, and sharded counters, no class's lifecycle serializes
 // against another's except at the logical clock itself.
 func BenchmarkParallelLifecycle(b *testing.B) {
+	benchParallelLifecycle(b, nil)
+}
+
+// BenchmarkParallelLifecycleObs is the identical workload with an
+// observability plane attached — the instrumented hot paths pay one
+// sharded counter increment per operation plus the stride-sampled
+// begin-window trace event. The delta against BenchmarkParallelLifecycle
+// is the plane's whole-lifecycle overhead (budget: <=5%, EXPERIMENTS.md).
+func BenchmarkParallelLifecycleObs(b *testing.B) {
+	benchParallelLifecycle(b, obs.NewPlane())
+}
+
+func benchParallelLifecycle(b *testing.B, plane *obs.Plane) {
 	const depth = 8
 	// Steady-state configuration: automatic GC keeps version chains and
 	// activity history bounded, as any long-running deployment would.
 	e, err := NewEngine(Config{Partition: benchPartChain(b, depth),
-		WallInterval: 1024, GCEveryCommits: 2048})
+		WallInterval: 1024, GCEveryCommits: 2048, Obs: plane})
 	if err != nil {
 		b.Fatal(err)
 	}

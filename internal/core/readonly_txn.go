@@ -7,6 +7,7 @@ import (
 
 	"hdd/internal/alink"
 	"hdd/internal/cc"
+	"hdd/internal/obs"
 	"hdd/internal/schema"
 	"hdd/internal/vclock"
 )
@@ -51,6 +52,9 @@ func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
 	}
 	t.mu.Unlock()
 	e.ctr.Reads.Add(1)
+	if o := e.obs; o != nil {
+		o.readsC.Inc()
+	}
 	bound := t.wall.Threshold(g.Segment)
 	val, vts, ok := e.store.ReadCommittedBefore(g, bound)
 	e.rec.RecordRead(t.init, g, vts, ok)
@@ -94,9 +98,15 @@ func (t *readOnlyTxn) finish(aborted bool) error {
 	at := e.clock.Tick()
 	if aborted {
 		e.ctr.Aborts.Add(1)
+		if o := e.obs; o != nil {
+			o.abortRO()
+		}
 		e.rec.RecordAbort(t.init, at)
 	} else {
 		e.ctr.Commits.Add(1)
+		if o := e.obs; o != nil {
+			o.commitRO()
+		}
 		e.rec.RecordCommit(t.init, at)
 	}
 	return nil
@@ -123,6 +133,10 @@ func (t *readOnlyTxn) reap() bool {
 	at := e.clock.Tick()
 	e.ctr.Aborts.Add(1)
 	e.ctr.ReapedTxns.Add(1)
+	if o := e.obs; o != nil {
+		o.abortRO()
+		o.reaped(obs.NoClass, t.init)
+	}
 	e.rec.RecordAbort(t.init, at)
 	return true
 }
@@ -176,6 +190,9 @@ func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
 		return nil, fmt.Errorf("core: segment %d is not on the critical path above class %d", g.Segment, t.base)
 	}
 	e.ctr.Reads.Add(1)
+	if o := e.obs; o != nil {
+		o.readsAPath.Inc()
+	}
 	val, vts, found := e.store.ReadCommittedBefore(g, bound)
 	e.rec.RecordRead(t.init, g, vts, found)
 	return val, nil
@@ -218,9 +235,15 @@ func (t *pathReadOnlyTxn) finish(aborted bool) error {
 	at := e.clock.Tick()
 	if aborted {
 		e.ctr.Aborts.Add(1)
+		if o := e.obs; o != nil {
+			o.abortRO()
+		}
 		e.rec.RecordAbort(t.init, at)
 	} else {
 		e.ctr.Commits.Add(1)
+		if o := e.obs; o != nil {
+			o.commitRO()
+		}
 		e.rec.RecordCommit(t.init, at)
 	}
 	return nil
@@ -247,6 +270,10 @@ func (t *pathReadOnlyTxn) reap() bool {
 	at := e.clock.Tick()
 	e.ctr.Aborts.Add(1)
 	e.ctr.ReapedTxns.Add(1)
+	if o := e.obs; o != nil {
+		o.abortRO()
+		o.reaped(obs.NoClass, t.init)
+	}
 	e.rec.RecordAbort(t.init, at)
 	return true
 }

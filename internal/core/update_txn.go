@@ -130,6 +130,9 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 				return nil, err
 			}
 			e.ctr.ReadRegistrations.Add(1)
+			if o := e.obs; o != nil {
+				o.readsB.Inc()
+			}
 			e.rec.RecordRead(t.init, g, vts, ok)
 			return val, nil
 		}
@@ -139,6 +142,9 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 		// registered and the read cannot block (§4.2).
 		bound := e.links.A(t.class, schema.ClassID(g.Segment), t.init)
 		val, vts, ok := e.store.ReadCommittedBefore(g, bound)
+		if o := e.obs; o != nil {
+			o.readsA.Inc()
+		}
 		e.rec.RecordRead(t.init, g, vts, ok)
 		return val, nil
 	default:
@@ -266,8 +272,11 @@ func (t *updateTxn) Commit() error {
 	t.mu.Unlock()
 	e.live.unregister(t.init)
 	e.ctr.Commits.Add(1)
+	if o := e.obs; o != nil {
+		o.commitUpdate(t.class)
+	}
 	e.rec.RecordCommit(t.init, at)
-	e.walls.Poll()
+	e.pollWalls()
 	// GC — and its PersistPrune log append — runs while this transaction
 	// still holds its admission-gate share: a snapshot's quiesce
 	// (gate.lockAll) cannot complete mid-GC, so a prune record can never
@@ -316,8 +325,14 @@ func (t *updateTxn) finishAbort(sticky error, reaped bool) bool {
 	if reaped {
 		e.ctr.ReapedTxns.Add(1)
 	}
+	if o := e.obs; o != nil {
+		o.abortUpdate(t.class)
+		if reaped {
+			o.reaped(int32(t.class), t.init)
+		}
+	}
 	e.rec.RecordAbort(t.init, at)
-	e.walls.Poll()
+	e.pollWalls()
 	return true
 }
 

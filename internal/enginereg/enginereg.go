@@ -17,6 +17,7 @@ import (
 
 	"hdd/internal/cc"
 	"hdd/internal/core"
+	"hdd/internal/obs"
 	"hdd/internal/schema"
 	"hdd/internal/sdd1"
 	"hdd/internal/segctl"
@@ -62,6 +63,10 @@ type Options struct {
 	// FS routes durability I/O; nil means the real filesystem. Tests
 	// inject vfs.Faulty.
 	FS vfs.FS
+
+	// Obs attaches an observability plane (metrics + trace ring,
+	// DESIGN.md §13) to engines that support one; others ignore it.
+	Obs *obs.Plane
 }
 
 // Entry describes one registered engine.
@@ -87,6 +92,7 @@ var entries = []Entry{
 			WallInterval:   o.WallInterval,
 			GCEveryCommits: o.GCEveryCommits,
 			TxnTimeout:     o.TxnTimeout,
+			Obs:            o.Obs,
 		}
 		if o.DataDir != "" {
 			cfg.Durability = core.DurabilityWAL

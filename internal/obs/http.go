@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Health is the /healthz probe: ok=false makes the endpoint answer 503
+// with the detail as the body — the signal a load balancer or operator
+// polls for (a degraded fail-stop engine flips it). A nil Health means
+// always healthy.
+type Health func() (ok bool, detail string)
+
+// Handler serves the plane over HTTP:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/debug/events     recent event-trace ring as JSON (?n= caps the count)
+//	/healthz          200/503 per the health probe
+//	/debug/pprof/...  the standard runtime profiles, wired explicitly so
+//	                  the plane composes with a private mux rather than
+//	                  polluting http.DefaultServeMux
+//
+// The handler holds no state beyond the plane; serving it on a separate
+// listener keeps the metrics port off the transaction port.
+func (p *Plane) Handler(health Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				max = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeEventsJSON(w, p.Events, max)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, detail := true, "ok"
+		if health != nil {
+			ok, detail = health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(detail + "\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// eventJSON is the /debug/events wire shape of one Event.
+type eventJSON struct {
+	Seq    uint64           `json:"seq"`
+	At     string           `json:"at"`
+	Kind   string           `json:"kind"`
+	Class  *int32           `json:"class,omitempty"`
+	Fields map[string]int64 `json:"fields,omitempty"`
+}
+
+type eventsJSON struct {
+	Total  uint64      `json:"total"` // events ever recorded (ring may have dropped older ones)
+	Events []eventJSON `json:"events"`
+}
+
+func writeEventsJSON(w http.ResponseWriter, ring *Ring, max int) {
+	evs := ring.Snapshot(max)
+	out := eventsJSON{Total: ring.Len(), Events: make([]eventJSON, 0, len(evs))}
+	for _, ev := range evs {
+		ej := eventJSON{
+			Seq:  ev.Seq,
+			At:   time.Unix(0, ev.At).UTC().Format(time.RFC3339Nano),
+			Kind: ev.Kind.String(),
+		}
+		if ev.Class != NoClass {
+			class := ev.Class
+			ej.Class = &class
+		}
+		if names := fieldNames[ev.Kind]; len(names) > 0 {
+			ej.Fields = make(map[string]int64, len(names))
+			for i, name := range names {
+				switch i {
+				case 0:
+					ej.Fields[name] = ev.F1
+				case 1:
+					ej.Fields[name] = ev.F2
+				case 2:
+					ej.Fields[name] = ev.F3
+				}
+			}
+		}
+		out.Events = append(out.Events, ej)
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(out)
+}

@@ -54,7 +54,7 @@ import (
 	"time"
 
 	"hdd/internal/cc"
-	"hdd/internal/metrics"
+	"hdd/internal/obs"
 	"hdd/internal/wire"
 )
 
@@ -69,6 +69,13 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs is the observability plane the server registers its request
+	// latency and session families on — pass the same plane given to the
+	// engine so one /metrics scrape covers both. Nil builds a private
+	// plane (the Stats opcode still works; nothing serves it over HTTP
+	// unless the caller exposes Obs()). A plane carries the families of
+	// exactly one server.
+	Obs *obs.Plane
 }
 
 func (o Options) withDefaults() Options {
@@ -96,11 +103,13 @@ type Server struct {
 	dur        cc.DurabilityIntrospector
 	checkpoint cc.Checkpointer
 
-	// commitLat and readLat are the request-level latency histograms
-	// exposed through the Stats wire request (engine-side work only, no
-	// network time).
-	commitLat metrics.Histogram
-	readLat   metrics.Histogram
+	// plane is the observability plane (DESIGN.md §13); reqLat, indexed
+	// by wire.Op, holds the per-opcode request latency histograms —
+	// request decode to response encode, no network time — that back
+	// both /metrics and the Stats opcode's commit_*/read_* entries (one
+	// source of truth).
+	plane  *obs.Plane
+	reqLat [wire.OpBeginReadOnlyFor + 1]*obs.Histogram
 
 	connsAccepted atomic.Int64
 	txnsOpen      atomic.Int64
@@ -135,7 +144,78 @@ func New(eng cc.Engine, opts Options) *Server {
 	s.activeTxns, _ = cc.AsActiveTxnCounter(eng)
 	s.dur, _ = cc.AsDurabilityIntrospector(eng)
 	s.checkpoint, _ = cc.AsCheckpointer(eng)
+	s.plane = opts.Obs
+	if s.plane == nil {
+		s.plane = obs.NewPlane()
+	}
+	s.registerMetrics()
 	return s
+}
+
+// opLabels maps each opcode to its /metrics label value.
+var opLabels = map[wire.Op]string{
+	wire.OpBegin:            "begin",
+	wire.OpBeginReadOnly:    "begin_ro",
+	wire.OpBeginAdHocFor:    "begin_adhoc_for",
+	wire.OpBeginReadOnlyFor: "begin_ro_for",
+	wire.OpRead:             "read",
+	wire.OpWrite:            "write",
+	wire.OpCommit:           "commit",
+	wire.OpAbort:            "abort",
+	wire.OpStats:            "stats",
+	wire.OpHello:            "hello",
+}
+
+// registerMetrics adds the server's families to the plane: one request
+// latency summary per opcode plus session/connection gauges.
+func (s *Server) registerMetrics() {
+	r := s.plane.Reg
+	for op, label := range opLabels {
+		s.reqLat[op] = r.Histogram("hdd_server_request_seconds",
+			"Request handling latency per opcode (decode to encode, no network time).",
+			"op", label)
+	}
+	r.GaugeFunc("hdd_server_sessions_open",
+		"Live client sessions.",
+		func() int64 { return int64(s.OpenSessions()) })
+	r.GaugeFunc("hdd_server_txns_open",
+		"Transactions currently open across all sessions.",
+		s.txnsOpen.Load)
+	r.CounterFunc("hdd_server_conns_accepted_total",
+		"Connections accepted since start.",
+		s.connsAccepted.Load)
+	r.CounterFunc("hdd_server_force_aborts_total",
+		"Orphaned transactions force-aborted by session teardown.",
+		s.forceAborts.Load)
+}
+
+// latencyFor returns the request-latency histogram for an opcode, nil for
+// opcodes outside the table (a malformed op still gets a response; it just
+// isn't timed).
+func (s *Server) latencyFor(op wire.Op) *obs.Histogram {
+	if op < 0 || int(op) >= len(s.reqLat) {
+		return nil
+	}
+	return s.reqLat[op]
+}
+
+// Obs returns the server's observability plane, for serving over HTTP
+// (cmd/hddserver wires plane.Handler(srv.Health()) to -metrics-addr).
+func (s *Server) Obs() *obs.Plane { return s.plane }
+
+// Health is the /healthz probe: not-ok once the engine reports the
+// fail-stop degraded state. Engines without durability introspection are
+// always healthy-with-caveat — the probe cannot see what is not exposed.
+func (s *Server) Health() obs.Health {
+	return func() (bool, string) {
+		if s.dur == nil {
+			return true, "ok (engine " + s.eng.Name() + " reports no durability introspection)"
+		}
+		if ds, ok := s.dur.DurabilityState(); ok && ds.Degraded {
+			return false, "degraded: " + ds.Cause
+		}
+		return true, "ok"
+	}
 }
 
 // Engine returns the served engine.
@@ -316,10 +396,6 @@ func (s *Server) OpenTxns() int64 { return s.txnsOpen.Load() }
 // force-aborted.
 func (s *Server) ForcedAborts() int64 { return s.forceAborts.Load() }
 
-// CommitLatency exposes the commit-path histogram (for the load generator
-// running in-process and for tests).
-func (s *Server) CommitLatency() *metrics.Histogram { return &s.commitLat }
-
 // statEntries snapshots the engine counters, the server's own gauges, and
 // the request-latency histograms as a flat name/value list for the Stats
 // wire response. Durations are nanoseconds.
@@ -349,8 +425,8 @@ func (s *Server) statEntries() []wire.StatEntry {
 	if s.activeTxns != nil {
 		entries = append(entries, wire.StatEntry{Name: "active_txns", Value: int64(s.activeTxns.ActiveTxns())})
 	}
-	entries = appendHistogram(entries, "commit", &s.commitLat)
-	entries = appendHistogram(entries, "read", &s.readLat)
+	entries = appendHistogram(entries, "commit", s.reqLat[wire.OpCommit])
+	entries = appendHistogram(entries, "read", s.reqLat[wire.OpRead])
 	if s.dur != nil {
 		if ds, ok := s.dur.DurabilityState(); ok {
 			for _, kv := range ds.Counters {
@@ -368,9 +444,10 @@ func (s *Server) statEntries() []wire.StatEntry {
 	return entries
 }
 
-// appendHistogram flattens one histogram into stat entries named
+// appendHistogram flattens one request-latency histogram (the same one
+// /metrics renders as a summary) into stat entries named
 // <prefix>_{count,mean_ns,p50_ns,p99_ns,max_ns}.
-func appendHistogram(entries []wire.StatEntry, prefix string, h *metrics.Histogram) []wire.StatEntry {
+func appendHistogram(entries []wire.StatEntry, prefix string, h *obs.Histogram) []wire.StatEntry {
 	return append(entries,
 		wire.StatEntry{Name: prefix + "_count", Value: h.Count()},
 		wire.StatEntry{Name: prefix + "_mean_ns", Value: int64(h.Mean())},

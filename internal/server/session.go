@@ -107,7 +107,11 @@ func (s *session) serve() {
 			s.srv.logf("server: %v: %v", s.conn.RemoteAddr(), err)
 			return
 		}
+		start := time.Now()
 		resp := s.handle(&req)
+		if h := s.srv.latencyFor(req.Op); h != nil {
+			h.Observe(time.Since(start))
+		}
 		if err := s.writeResponse(req.Op, resp); err != nil {
 			return
 		}
@@ -181,9 +185,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
-		start := time.Now()
 		val, err := t.Read(schema.GranuleID{Segment: schema.SegmentID(req.Seg), Key: req.Key})
-		s.srv.readLat.Observe(time.Since(start))
 		if err != nil {
 			return errResponse(err)
 		}
@@ -210,9 +212,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
-		start := time.Now()
 		err := t.Commit()
-		s.srv.commitLat.Observe(time.Since(start))
 		s.dropTxn(req.Txn)
 		if err != nil {
 			return errResponse(err)

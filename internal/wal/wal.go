@@ -93,6 +93,13 @@ type Options struct {
 	// are expected to react themselves. OnError must not call back into
 	// the Log.
 	OnError func(error)
+	// OnFlush, if set, is invoked after every successful write+fsync with
+	// the batch's record count, its byte size, and how long the fsync
+	// took (zero under NoSync). It runs on the flushing goroutine with
+	// the file lock held — the observability plane hangs histograms and
+	// trace events off it — so it must be fast and must not call back
+	// into the Log.
+	OnFlush func(records, bytes int64, syncDur time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +139,7 @@ type Log struct {
 	f        vfs.File
 	buf      []byte // pending encoded frames
 	spare    []byte // idle half of the double buffer
+	bufRecs  int64  // records encoded in buf, reported to OnFlush
 	cur      *batch // batch the next flush resolves; nil if no waiter yet
 	size     int64  // bytes appended since Open/Reset (durable + pending)
 	closed   bool
@@ -274,6 +282,7 @@ func (l *Log) append(r *Record, want bool) (*batch, error) {
 	l.buf = appendFrame(l.buf, r)
 	n := int64(len(l.buf) - start)
 	l.size += n
+	l.bufRecs++
 	l.records.Add(1)
 	l.appendedBytes.Add(n)
 	if l.opts.SyncEach {
@@ -568,7 +577,9 @@ func (l *Log) noteErr(err error) bool {
 func (l *Log) flushOnce() {
 	l.mu.Lock()
 	buf, b := l.buf, l.cur
+	records := l.bufRecs
 	l.buf, l.spare = l.spare[:0], nil
+	l.bufRecs = 0
 	l.cur = nil
 	err := l.err
 	l.mu.Unlock()
@@ -580,7 +591,7 @@ func (l *Log) flushOnce() {
 	}
 	start := time.Now()
 	if err == nil {
-		err = l.writeAndSync(buf)
+		err = l.writeAndSync(buf, records)
 	}
 	took := time.Since(start)
 	if b != nil {
@@ -615,9 +626,10 @@ func (l *Log) flushOnce() {
 }
 
 // writeAndSync writes buf to the file and fsyncs (unless NoSync). An
-// empty buf still fsyncs — SyncEach commit waits rely on that. File I/O
-// is serialized against Reset's truncate via ioMu.
-func (l *Log) writeAndSync(buf []byte) error {
+// empty buf still fsyncs — SyncEach commit waits rely on that. records is
+// how many records buf holds, reported to OnFlush. File I/O is serialized
+// against Reset's truncate via ioMu.
+func (l *Log) writeAndSync(buf []byte, records int64) error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
 	if len(buf) > 0 {
@@ -634,13 +646,19 @@ func (l *Log) writeAndSync(buf []byte) error {
 			return fmt.Errorf("wal: writing log: %w (%d of %d bytes)", io.ErrShortWrite, n, len(buf))
 		}
 	}
+	var syncDur time.Duration
 	if !l.opts.NoSync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: syncing log: %w", err)
 		}
+		syncDur = time.Since(syncStart)
 		l.syncs.Add(1)
 	}
 	l.batches.Add(1)
+	if l.opts.OnFlush != nil {
+		l.opts.OnFlush(records, int64(len(buf)), syncDur)
+	}
 	return nil
 }
 
@@ -650,7 +668,9 @@ func (l *Log) writeLocked() error {
 	if l.err != nil {
 		return l.err
 	}
-	err := l.writeAndSync(l.buf)
+	records := l.bufRecs
+	l.bufRecs = 0
+	err := l.writeAndSync(l.buf, records)
 	l.buf = l.buf[:0]
 	if err != nil {
 		l.err = err

@@ -3,19 +3,27 @@
 # hddload, and archive the latency results as BENCH_net.json via the
 # same benchjson format the scaling benchmarks use.
 #
+# The server also exposes its observability plane on an ephemeral
+# metrics port; hddload scrapes /metrics at the end of the run, archives
+# the raw snapshot, and folds the WAL fsync and per-class commit series
+# into the same BENCH_net.json.
+#
 # Environment knobs (all optional):
-#   CLIENTS  concurrent workers          (default 8)
-#   TXNS     transactions per worker     (default 200)
-#   OUT      output JSON path            (default BENCH_net.json)
+#   CLIENTS      concurrent workers          (default 8)
+#   TXNS         transactions per worker     (default 200)
+#   OUT          output JSON path            (default BENCH_net.json)
+#   METRICS_OUT  raw /metrics snapshot path  (default metrics_snapshot.txt)
 set -eu
 
 CLIENTS="${CLIENTS:-8}"
 TXNS="${TXNS:-200}"
 OUT="${OUT:-BENCH_net.json}"
+METRICS_OUT="${METRICS_OUT:-metrics_snapshot.txt}"
 GO="${GO:-go}"
 
 workdir="$(mktemp -d)"
 addrfile="$workdir/addr"
+metricsfile="$workdir/metrics-addr"
 server_pid=""
 
 cleanup() {
@@ -32,15 +40,19 @@ trap cleanup EXIT INT TERM
 "$GO" build -o "$workdir/hddload" ./cmd/hddload
 "$GO" build -o "$workdir/benchjson" ./cmd/benchjson
 
-"$workdir/hddserver" -addr 127.0.0.1:0 -addr-file "$addrfile" -quiet &
+# A throwaway -data-dir makes the run durable so the scraped snapshot
+# carries the WAL flush/fsync series, not just in-memory counters.
+"$workdir/hddserver" -addr 127.0.0.1:0 -addr-file "$addrfile" \
+	-metrics-addr 127.0.0.1:0 -metrics-addr-file "$metricsfile" \
+	-data-dir "$workdir/data" -quiet &
 server_pid=$!
 
-# The server writes its bound address once the listener is up.
+# The server writes both bound addresses once the listeners are up.
 i=0
-while [ ! -s "$addrfile" ]; do
+while [ ! -s "$addrfile" ] || [ ! -s "$metricsfile" ]; do
 	i=$((i + 1))
 	if [ "$i" -gt 100 ]; then
-		echo "loadtest: server never published its address" >&2
+		echo "loadtest: server never published its addresses" >&2
 		exit 1
 	fi
 	if ! kill -0 "$server_pid" 2>/dev/null; then
@@ -50,9 +62,11 @@ while [ ! -s "$addrfile" ]; do
 	sleep 0.1
 done
 addr="$(cat "$addrfile")"
-echo "loadtest: server at $addr (pid $server_pid)" >&2
+metrics_addr="$(cat "$metricsfile")"
+echo "loadtest: server at $addr, metrics at $metrics_addr (pid $server_pid)" >&2
 
 "$workdir/hddload" -addr "$addr" -clients "$CLIENTS" -txns "$TXNS" \
+	-metrics-addr "$metrics_addr" -metrics-out "$METRICS_OUT" \
 	| "$workdir/benchjson" -out "$OUT"
 
-echo "loadtest: wrote $OUT" >&2
+echo "loadtest: wrote $OUT and $METRICS_OUT" >&2
