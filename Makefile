@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke obs-smoke
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-read bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke obs-smoke
 
 all: build vet test
 
@@ -44,11 +44,19 @@ bench-wal:
 		-benchtime $(BENCHTIME) \
 		| $(GO) run ./cmd/benchjson -out BENCH_wal.json
 
+# Wait-free read-path scaling: Protocol A and C readers hammering one hot
+# granule across core counts (DESIGN.md §14); results archived as JSON.
+bench-read:
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkReadScaling \
+		-benchmem -cpu 1,2,4,8 -benchtime $(BENCHTIME) \
+		| $(GO) run ./cmd/benchjson -out BENCH_read.json
+
 # CI smoke: every benchmark compiles and runs once; scaling run at 1x.
 bench-smoke:
 	$(GO) test ./... -run '^$$' -bench . -benchtime=1x
 	$(MAKE) bench-parallel BENCHTIME=1x
 	$(MAKE) bench-wal BENCHTIME=1x
+	$(MAKE) bench-read BENCHTIME=1x
 
 # Run the networked HDD service in the foreground (Ctrl-C drains).
 serve:

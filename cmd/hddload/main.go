@@ -87,6 +87,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "server's -metrics-addr endpoint to scrape after the run (single-server mode); folds WAL fsync and per-class commit series into the bench output")
 		metricsOut  = flag.String("metrics-out", "", "write the raw end-of-run /metrics snapshot to this file")
+		mutexOut    = flag.String("mutex-profile-out", "", "fetch /debug/pprof/mutex from -metrics-addr after the run and write the pprof profile here (server must run with -mutex-profile-fraction > 0)")
 	)
 	flag.Parse()
 	if *clients < 1 || *txns < 1 || *classes < 1 {
@@ -135,6 +136,12 @@ func main() {
 		if err := scrapeMetrics(*metricsAddr, *metricsOut, cfg.clients, res.elapsed); err != nil {
 			fmt.Fprintf(os.Stderr, "hddload: metrics scrape: %v\n", err)
 			ok = false
+		}
+		if *mutexOut != "" {
+			if err := fetchMutexProfile(*metricsAddr, *mutexOut); err != nil {
+				fmt.Fprintf(os.Stderr, "hddload: mutex profile: %v\n", err)
+				ok = false
+			}
 		}
 	}
 	if !ok {
@@ -192,6 +199,31 @@ func scrapeMetrics(addr, outPath string, clients int, elapsed time.Duration) err
 		fmt.Printf("BenchmarkNetCommitsClass%s-%d\t%d\t%.1f ns/op\n",
 			cls, clients, int64(cnt), float64(elapsed.Nanoseconds())/cnt)
 	}
+	return nil
+}
+
+// fetchMutexProfile pulls /debug/pprof/mutex from the server's
+// observability listener and archives the gzipped pprof protobuf. The
+// profile is the read-path contention audit for DESIGN.md §14: under the
+// wait-free read path the mvstore frames should contribute zero samples.
+// Empty unless the server was started with -mutex-profile-fraction > 0.
+func fetchMutexProfile(addr, outPath string) error {
+	resp, err := http.Get("http://" + addr + "/debug/pprof/mutex")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/pprof/mutex: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hddload: wrote mutex profile to %s (inspect with `go tool pprof -top %s`)\n", outPath, outPath)
 	return nil
 }
 

@@ -60,6 +60,22 @@ type Txn interface {
 	Abort() error
 }
 
+// SharedReader is the optional zero-copy read path. A transaction that
+// implements it serves ReadShared with the same visibility and error
+// semantics as Txn.Read, but the returned slice aliases engine-owned
+// immutable memory instead of a defensive copy: the engine guarantees the
+// bytes are never mutated after publication, and the caller in turn must
+// never write to them and must not hold them past the point where it
+// stops trusting the transaction's lifetime guarantees (a server encoding
+// a response consumes them immediately).
+//
+// Txn.Read remains the safe public boundary — it is exactly ReadShared
+// plus the single defensive copy. Callers feature-detect with a type
+// assertion and fall back to Read.
+type SharedReader interface {
+	ReadShared(g schema.GranuleID) ([]byte, error)
+}
+
 // AbortError signals that the engine killed the transaction; the client
 // should retry. Reason is a short stable cause label used in experiment
 // breakdowns.

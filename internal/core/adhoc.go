@@ -210,6 +210,7 @@ type adhocTxn struct {
 }
 
 var _ cc.Txn = (*adhocTxn)(nil)
+var _ cc.SharedReader = (*adhocTxn)(nil)
 var _ liveTxn = (*adhocTxn)(nil)
 
 // ID implements cc.Txn.
@@ -225,11 +226,23 @@ func (t *adhocTxn) deadErrLocked() error {
 	return cc.ErrTxnDone
 }
 
-// Read implements cc.Txn: latest committed version — exact, because no
-// conflicting update runs concurrently. A declared transaction may only
-// read its declared segments: anything else is outside the drained
-// conflict set, where the solo-execution argument does not hold.
+// Read implements cc.Txn: ReadShared plus the defensive copy the public
+// boundary owes its callers.
 func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
+	val, err := t.ReadShared(g)
+	if val == nil || err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// ReadShared implements cc.SharedReader: latest committed version —
+// exact, because no conflicting update runs concurrently. A declared
+// transaction may only read its declared segments: anything else is
+// outside the drained conflict set, where the solo-execution argument
+// does not hold. The returned slice aliases immutable engine-owned
+// memory.
+func (t *adhocTxn) ReadShared(g schema.GranuleID) ([]byte, error) {
 	e := t.eng
 	if err := e.closedErr(); err != nil {
 		return nil, err
@@ -242,10 +255,11 @@ func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 	}
 	e.ctr.Reads.Add(1)
 	if v, ok := t.writes[g]; ok {
-		out := append([]byte(nil), v...)
+		// Own-write slices are immutable too: Write swaps in a fresh copy
+		// rather than editing in place, so sharing v is safe.
 		t.mu.Unlock()
 		e.rec.RecordRead(t.init, g, t.init, true)
-		return out, nil
+		return v, nil
 	}
 	t.mu.Unlock()
 	if t.readSet != nil && !t.readSet[g.Segment] {
@@ -257,6 +271,7 @@ func (t *adhocTxn) Read(g schema.GranuleID) ([]byte, error) {
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
 	if o := e.obs; o != nil {
 		o.readsAdHoc.Inc()
+		o.lockfreeAdHoc.Inc()
 	}
 	e.rec.RecordRead(t.init, g, vts, ok)
 	return val, nil

@@ -314,6 +314,11 @@ func (e *Engine) initDurability(cfg Config) error {
 // removed. high is advanced over every timestamp seen, committed or not,
 // so the restarted clock can never re-issue a timestamp that reached the
 // log.
+//
+// Replay goes through the store's ordinary mutation entry points
+// (InstallPending, Commit, GC), so each replayed commit republishes the
+// chain's RCU committed snapshot as a side effect — the wait-free read
+// path needs no recovery-specific rebuild step.
 func (e *Engine) replayWAL(r io.Reader, high *vclock.Time) (valid, records int64, torn bool, err error) {
 	observe := func(ts vclock.Time) {
 		if ts > *high {

@@ -3,6 +3,15 @@ package core
 // Garbage collection: the §7.3 maintenance duty. Version chains and
 // activity history are pruned against a watermark no future read bound or
 // activity query can reach.
+//
+// The watermark rule is also what makes the store's RCU read path safe
+// without epochs or hazard pointers (DESIGN.md §14): pruning only swaps a
+// chain's published committed snapshot for a smaller one — the superseded
+// snapshot, and every value it references, stays intact for any reader
+// that already loaded it, and the Go runtime reclaims it when the last
+// such reader drops its reference. A reader that loads the *new* snapshot
+// cannot miss a version it is entitled to, because its bound is at or
+// above the watermark by construction.
 
 import (
 	"hdd/internal/obs"

@@ -49,6 +49,13 @@ type engineObs struct {
 	// (exact reads under a drained conflict set).
 	readsA, readsAPath, readsB, readsC, readsAdHoc *obs.Counter
 
+	// Reads served by the wait-free committed-read path (RCU snapshot
+	// load, no locks, no allocations), by protocol. Protocol B is absent:
+	// registered reads mutate the chain by definition. Equal to the
+	// corresponding hdd_reads_total series today; the split exists so a
+	// future partially-locked path shows up as divergence.
+	lockfreeA, lockfreeAPath, lockfreeC, lockfreeAdHoc *obs.Counter
+
 	// gcPruned counts store versions removed by GC cycles.
 	gcPruned *obs.Counter
 
@@ -103,6 +110,15 @@ func newEngineObs(e *Engine, plane *obs.Plane) *engineObs {
 	o.readsB = r.Counter(readsName, readsHelp, "protocol", "B")
 	o.readsC = r.Counter(readsName, readsHelp, "protocol", "C")
 	o.readsAdHoc = r.Counter(readsName, readsHelp, "protocol", "adhoc")
+
+	const (
+		lockfreeName = "hdd_reads_lockfree_total"
+		lockfreeHelp = "Reads served by the wait-free committed-read path (no locks, no allocations), by protocol."
+	)
+	o.lockfreeA = r.Counter(lockfreeName, lockfreeHelp, "protocol", "A")
+	o.lockfreeAPath = r.Counter(lockfreeName, lockfreeHelp, "protocol", "A-path")
+	o.lockfreeC = r.Counter(lockfreeName, lockfreeHelp, "protocol", "C")
+	o.lockfreeAdHoc = r.Counter(lockfreeName, lockfreeHelp, "protocol", "adhoc")
 
 	o.gcPruned = r.Counter("hdd_gc_pruned_versions_total",
 		"Store versions removed by garbage collection.")

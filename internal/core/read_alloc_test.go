@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"hdd/internal/cc"
+	"hdd/internal/mvstore"
+	"hdd/internal/vclock"
+)
+
+// TestLockFreeReadZeroAllocs pins the wait-free committed-read path at
+// zero allocations, from the store entry points up through the engine's
+// ReadShared: the RCU snapshot load and binary search must not allocate,
+// and neither may anything the Protocol A/C paths add on top. A
+// regression here (a copy, a boxed key, a closure capture) is a
+// performance bug the read-scaling bench would only show as noise.
+func TestLockFreeReadZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	t.Run("store", func(t *testing.T) {
+		s := mvstore.New()
+		gid := gr(0, 1)
+		for ts := vclock.Time(10); ts <= 100; ts += 10 {
+			if err := s.InstallPending(gid, ts, []byte("value")); err != nil {
+				t.Fatal(err)
+			}
+			s.CommitAt(gid, ts, ts+1)
+		}
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, _, ok := s.ReadCommittedBefore(gid, 1000); !ok {
+				t.Fatal("read missed")
+			}
+		}); allocs != 0 {
+			t.Errorf("ReadCommittedBefore: %v allocs/op, want 0", allocs)
+		}
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, _, ok := s.ReadCommittedAsOf(gid, 1000); !ok {
+				t.Fatal("read missed")
+			}
+		}); allocs != 0 {
+			t.Errorf("ReadCommittedAsOf: %v allocs/op, want 0", allocs)
+		}
+	})
+
+	t.Run("engine", func(t *testing.T) {
+		e, err := NewEngine(Config{Partition: twoLevel(t), WallInterval: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		seed, err := e.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Write(gr(0, 1), []byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := seed.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		e.Walls().Force()
+
+		// Protocol A: an update transaction's cross-class read.
+		up, err := e.Begin(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer up.Commit()
+		shared := up.(cc.SharedReader)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := shared.ReadShared(gr(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("Protocol A ReadShared: %v allocs/op, want 0", allocs)
+		}
+
+		// Protocol C: a wall-pinned read-only transaction.
+		ro, err := e.BeginReadOnly()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ro.Commit()
+		shared = ro.(cc.SharedReader)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			if _, err := shared.ReadShared(gr(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("Protocol C ReadShared: %v allocs/op, want 0", allocs)
+		}
+	})
+}

@@ -26,6 +26,7 @@ type readOnlyTxn struct {
 }
 
 var _ cc.Txn = (*readOnlyTxn)(nil)
+var _ cc.SharedReader = (*readOnlyTxn)(nil)
 var _ liveTxn = (*readOnlyTxn)(nil)
 
 // ID implements cc.Txn.
@@ -34,9 +35,21 @@ func (t *readOnlyTxn) ID() cc.TxnID { return t.init }
 // Class implements cc.Txn.
 func (t *readOnlyTxn) Class() schema.ClassID { return schema.NoClass }
 
-// Read implements cc.Txn: the latest committed version below the wall
-// component of the granule's segment. Never blocks, never registers.
+// Read implements cc.Txn: ReadShared plus the defensive copy the public
+// boundary owes its callers.
 func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	val, err := t.ReadShared(g)
+	if val == nil || err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// ReadShared implements cc.SharedReader: the latest committed version
+// below the wall component of the granule's segment. Never blocks, never
+// registers — wait-free into the store's RCU snapshot. The returned slice
+// aliases immutable engine-owned memory.
+func (t *readOnlyTxn) ReadShared(g schema.GranuleID) ([]byte, error) {
 	e := t.eng
 	if err := e.closedErr(); err != nil {
 		return nil, err
@@ -54,6 +67,7 @@ func (t *readOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e.ctr.Reads.Add(1)
 	if o := e.obs; o != nil {
 		o.readsC.Inc()
+		o.lockfreeC.Inc()
 	}
 	bound := t.wall.Threshold(g.Segment)
 	val, vts, ok := e.store.ReadCommittedBefore(g, bound)
@@ -160,6 +174,7 @@ type pathReadOnlyTxn struct {
 }
 
 var _ cc.Txn = (*pathReadOnlyTxn)(nil)
+var _ cc.SharedReader = (*pathReadOnlyTxn)(nil)
 var _ liveTxn = (*pathReadOnlyTxn)(nil)
 
 // ID implements cc.Txn.
@@ -168,9 +183,20 @@ func (t *pathReadOnlyTxn) ID() cc.TxnID { return t.init }
 // Class implements cc.Txn.
 func (t *pathReadOnlyTxn) Class() schema.ClassID { return schema.NoClass }
 
-// Read implements cc.Txn with the fictitious-class Protocol A threshold
-// pinned at initiation.
+// Read implements cc.Txn: ReadShared plus the defensive copy the public
+// boundary owes its callers.
 func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
+	val, err := t.ReadShared(g)
+	if val == nil || err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// ReadShared implements cc.SharedReader with the fictitious-class
+// Protocol A threshold pinned at initiation. Wait-free into the store's
+// RCU snapshot; the returned slice aliases immutable engine-owned memory.
+func (t *pathReadOnlyTxn) ReadShared(g schema.GranuleID) ([]byte, error) {
 	e := t.eng
 	if err := e.closedErr(); err != nil {
 		return nil, err
@@ -192,6 +218,7 @@ func (t *pathReadOnlyTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e.ctr.Reads.Add(1)
 	if o := e.obs; o != nil {
 		o.readsAPath.Inc()
+		o.lockfreeAPath.Inc()
 	}
 	val, vts, found := e.store.ReadCommittedBefore(g, bound)
 	e.rec.RecordRead(t.init, g, vts, found)

@@ -39,6 +39,7 @@ type updateTxn struct {
 }
 
 var _ cc.Txn = (*updateTxn)(nil)
+var _ cc.SharedReader = (*updateTxn)(nil)
 var _ liveTxn = (*updateTxn)(nil)
 
 // ID implements cc.Txn.
@@ -57,12 +58,25 @@ func (t *updateTxn) deadErrLocked() error {
 	return cc.ErrTxnDone
 }
 
-// Read implements cc.Txn. Reads in the root segment follow Protocol B
-// (registered, may wait); reads in higher segments follow Protocol A
-// (non-blocking, trace-free). A blocked Protocol B read wakes on the
-// transaction deadline (aborting with cc.ReasonTimedOut) and on engine
-// shutdown (returning cc.ErrEngineClosed).
+// Read implements cc.Txn: ReadShared plus the defensive copy the public
+// boundary owes its callers.
 func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
+	val, err := t.ReadShared(g)
+	if val == nil || err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// ReadShared implements cc.SharedReader. Reads in the root segment follow
+// Protocol B (registered, may wait); reads in higher segments follow
+// Protocol A (non-blocking, trace-free — and wait-free all the way into
+// the store, which serves them from an RCU snapshot with no locks and no
+// copies). A blocked Protocol B read wakes on the transaction deadline
+// (aborting with cc.ReasonTimedOut) and on engine shutdown (returning
+// cc.ErrEngineClosed). The returned slice aliases immutable engine-owned
+// memory.
+func (t *updateTxn) ReadShared(g schema.GranuleID) ([]byte, error) {
 	e := t.eng
 	if err := e.closedErr(); err != nil {
 		return nil, err
@@ -75,10 +89,11 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 	}
 	e.ctr.Reads.Add(1)
 	if v, ok := t.writes[g]; ok {
-		out := append([]byte(nil), v...)
+		// Own-write slices are immutable too: Write swaps in a fresh copy
+		// rather than editing in place, so sharing v is safe.
 		t.mu.Unlock()
 		e.rec.RecordRead(t.init, g, t.init, true)
-		return out, nil
+		return v, nil
 	}
 	t.mu.Unlock()
 	root := e.part.Class(t.class).Writes
@@ -144,6 +159,7 @@ func (t *updateTxn) Read(g schema.GranuleID) ([]byte, error) {
 		val, vts, ok := e.store.ReadCommittedBefore(g, bound)
 		if o := e.obs; o != nil {
 			o.readsA.Inc()
+			o.lockfreeA.Inc()
 		}
 		e.rec.RecordRead(t.init, g, vts, ok)
 		return val, nil

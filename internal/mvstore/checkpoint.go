@@ -36,21 +36,20 @@ const checkpointMagic = "HDDCKPT1"
 // highest write timestamp captured; callers restart their logical clocks
 // above it.
 func (s *Store) WriteCheckpoint(w io.Writer) (vclock.Time, error) {
-	// Collect a stable snapshot of granule ids first, then serialize each
-	// chain under its own lock.
+	// Collect a stable snapshot of granule ids first (the chain directory
+	// is lock-free to traverse), then serialize each chain from its
+	// RCU-published committed snapshot — immutable, so no chain lock and
+	// no value copies are needed. Engines quiesce writers before
+	// checkpointing, so the snapshots are also mutually consistent.
 	type entry struct {
 		g schema.GranuleID
 		c *chain
 	}
 	var entries []entry
-	for si := range s.shards {
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		for g, c := range sh.chains {
-			entries = append(entries, entry{g, c})
-		}
-		sh.mu.Unlock()
-	}
+	s.chains.Range(func(k, v any) bool {
+		entries = append(entries, entry{k.(schema.GranuleID), v.(*chain)})
+		return true
+	})
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i].g, entries[j].g
 		if a.Segment != b.Segment {
@@ -82,20 +81,18 @@ func (s *Store) WriteCheckpoint(w io.Writer) (vclock.Time, error) {
 		if err := writeUvarint(e.g.Key); err != nil {
 			return 0, err
 		}
-		e.c.mu.Lock()
-		var committed []version
-		for _, v := range e.c.versions {
-			if v.state == Committed {
-				committed = append(committed, version{ts: v.ts, commitTS: v.commitTS, value: append([]byte(nil), v.value...)})
-				if v.ts > high {
-					high = v.ts
-				}
-				if v.commitTS > high {
-					high = v.commitTS
-				}
+		var committed []committedVersion
+		if snap := e.c.committed.Load(); snap != nil {
+			committed = snap.vers
+		}
+		for _, v := range committed {
+			if v.ts > high {
+				high = v.ts
+			}
+			if v.commitTS > high {
+				high = v.commitTS
 			}
 		}
-		e.c.mu.Unlock()
 		if err := writeUvarint(uint64(len(committed))); err != nil {
 			return 0, err
 		}
@@ -216,6 +213,10 @@ func ReadCheckpoint(r io.Reader) (*Store, vclock.Time, error) {
 				high = vclock.Time(commitTS)
 			}
 		}
+		// Publish the rebuilt chain's committed snapshot. Recovery is
+		// single-threaded (the store is not yet shared), so no lock is
+		// needed around the rebuild.
+		c.publishCommitted()
 	}
 	if br.Len() != 0 {
 		return nil, 0, fmt.Errorf("mvstore: %d trailing bytes in checkpoint", br.Len())

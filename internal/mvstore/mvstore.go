@@ -8,6 +8,24 @@
 // pending, then committed or discarded; committed versions optionally carry
 // a read-timestamp register (the thing Protocols A and C avoid touching).
 // Watermark-based garbage collection implements the §7.3 maintenance duty.
+//
+// # Read-path memory model (DESIGN.md §14)
+//
+// The committed-read entry points (ReadCommittedBefore, ReadCommittedAsOf)
+// are wait-free: they take no locks and perform no allocations. Each chain
+// publishes its committed subsequence as an immutable snapshot behind an
+// atomic pointer (RCU); writers rebuild and swap the snapshot under the
+// chain mutex on commit and prune, readers load the pointer and
+// binary-search. A published snapshot — including every value slice it
+// references — is never mutated afterwards, so a reader that loaded it
+// stays consistent no matter what commits or GC passes race it; the Go
+// runtime reclaims superseded snapshots once the last reader drops its
+// reference, which is why no epoch or hazard-pointer machinery is needed.
+//
+// Immutable-value contract: values returned by every read path alias
+// store-owned immutable memory. Callers must not modify them; engines make
+// the single defensive copy at their public cc.Txn.Read boundary (zero-copy
+// consumers like the wire server use the shared slice directly).
 package mvstore
 
 import (
@@ -56,14 +74,32 @@ type VersionInfo struct {
 	Len    int
 }
 
-const numShards = 64
+// committedVersion is one entry of an RCU-published committed snapshot.
+// Both the struct and the value bytes are immutable once published.
+type committedVersion struct {
+	ts       vclock.Time
+	commitTS vclock.Time
+	value    []byte
+}
 
-type shard struct {
-	mu     sync.Mutex
-	chains map[schema.GranuleID]*chain
+// committedSnap is the RCU-published view of one chain's committed
+// subsequence, ts ascending. It is immutable: mutators build a fresh
+// snapshot and swap the chain's pointer; readers that loaded the old one
+// keep a consistent view until they drop it.
+type committedSnap struct {
+	vers []committedVersion
+}
+
+// locate returns the index of the latest committed version with ts <
+// bound, or -1.
+func (s *committedSnap) locate(bound vclock.Time) int {
+	return vclock.Locate(len(s.vers), func(i int) vclock.Time { return s.vers[i].ts }, bound)
 }
 
 type chain struct {
+	// mu serializes mutators (install/commit/abort/update/prune) and the
+	// registered Protocol B read path. The wait-free committed-read paths
+	// never take it.
 	mu sync.Mutex
 	// versions is ordered by ts ascending. Aborted versions are removed.
 	versions []version
@@ -73,12 +109,42 @@ type chain struct {
 	// first version afterwards, or a same-class reader/writer pair can
 	// cycle.
 	initRTS vclock.Time
+	// committed is the RCU snapshot of the committed subsequence of
+	// versions. Rebuilt (publishCommitted) under mu by every mutation
+	// that changes the committed set: commit and prune. Nil means no
+	// committed versions yet.
+	committed atomic.Pointer[committedSnap]
+}
+
+// publishCommitted rebuilds and swaps the chain's committed snapshot.
+// Callers must hold c.mu (or have exclusive access during recovery). The
+// version flip it publishes becomes visible to wait-free readers at the
+// atomic store.
+func (c *chain) publishCommitted() {
+	n := 0
+	for i := range c.versions {
+		if c.versions[i].state == Committed {
+			n++
+		}
+	}
+	vers := make([]committedVersion, 0, n)
+	for i := range c.versions {
+		v := &c.versions[i]
+		if v.state == Committed {
+			vers = append(vers, committedVersion{ts: v.ts, commitTS: v.commitTS, value: v.value})
+		}
+	}
+	c.committed.Store(&committedSnap{vers: vers})
 }
 
 // Store is a sharded multi-version key/value store. It is safe for
 // concurrent use.
 type Store struct {
-	shards [numShards]shard
+	// chains maps schema.GranuleID -> *chain. A sync.Map so the wait-free
+	// read paths resolve granule → chain without a directory lock (chains
+	// are created once and never removed — the read-mostly shape sync.Map
+	// is built for).
+	chains sync.Map
 
 	// persist is the durability hook (persister.go); nil means memory-only.
 	// Set once via SetPersister before the store is shared.
@@ -93,29 +159,18 @@ type Store struct {
 
 // New returns an empty Store.
 func New() *Store {
-	s := &Store{}
-	for i := range s.shards {
-		s.shards[i].chains = make(map[schema.GranuleID]*chain)
-	}
-	return s
-}
-
-func (s *Store) shardOf(g schema.GranuleID) *shard {
-	h := uint64(g.Segment)*0x9e3779b97f4a7c15 ^ g.Key*0xbf58476d1ce4e5b9
-	h ^= h >> 29
-	return &s.shards[h%numShards]
+	return &Store{}
 }
 
 func (s *Store) chainOf(g schema.GranuleID, create bool) *chain {
-	sh := s.shardOf(g)
-	sh.mu.Lock()
-	c := sh.chains[g]
-	if c == nil && create {
-		c = &chain{}
-		sh.chains[g] = c
+	if v, ok := s.chains.Load(g); ok {
+		return v.(*chain)
 	}
-	sh.mu.Unlock()
-	return c
+	if !create {
+		return nil
+	}
+	v, _ := s.chains.LoadOrStore(g, &chain{})
+	return v.(*chain)
 }
 
 // locate returns the index of the latest version with ts < bound, or -1.
@@ -148,27 +203,10 @@ func (s *Store) InstallPending(g schema.GranuleID, ts vclock.Time, value []byte)
 	return nil
 }
 
-// Commit flips the pending version of g at ts to Committed.
-func (s *Store) Commit(g schema.GranuleID, ts vclock.Time) {
-	c := s.chainOf(g, false)
-	if c == nil {
-		panic(fmt.Sprintf("mvstore: commit of unknown granule %v", g))
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i := c.locate(ts + 1)
-	if i < 0 || c.versions[i].ts != ts || c.versions[i].state != Pending {
-		panic(fmt.Sprintf("mvstore: commit of missing pending version %v@%d", g, ts))
-	}
-	c.versions[i].state = Committed
-	close(c.versions[i].done)
-	c.versions[i].done = nil
-}
-
-// CommitAt flips the pending version of g at ts to Committed, stamping it
-// with the given commit instant. Engines whose readers snapshot by commit
-// time (MV2PL) use this in place of Commit.
-func (s *Store) CommitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
+// commitAt flips the pending version of g at ts to Committed with the
+// given commit instant (zero when commit time is untracked) and publishes
+// the updated committed snapshot — the shared body of Commit and CommitAt.
+func (s *Store) commitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
 	c := s.chainOf(g, false)
 	if c == nil {
 		panic(fmt.Sprintf("mvstore: commit of unknown granule %v", g))
@@ -183,6 +221,19 @@ func (s *Store) CommitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
 	c.versions[i].commitTS = commitTS
 	close(c.versions[i].done)
 	c.versions[i].done = nil
+	c.publishCommitted()
+}
+
+// Commit flips the pending version of g at ts to Committed.
+func (s *Store) Commit(g schema.GranuleID, ts vclock.Time) {
+	s.commitAt(g, ts, 0)
+}
+
+// CommitAt flips the pending version of g at ts to Committed, stamping it
+// with the given commit instant. Engines whose readers snapshot by commit
+// time (MV2PL) use this in place of Commit.
+func (s *Store) CommitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
+	s.commitAt(g, ts, commitTS)
 }
 
 // ReadCommittedAsOf returns the latest version of g committed strictly
@@ -190,17 +241,21 @@ func (s *Store) CommitAt(g schema.GranuleID, ts, commitTS vclock.Time) {
 // requires versions to have been committed with CommitAt and relies on
 // per-granule commit order matching chain order, which strict 2PL
 // guarantees (exclusive locks serialize writers of a granule).
+//
+// Wait-free: no locks, no allocations. The returned value aliases
+// immutable store memory and must not be modified.
 func (s *Store) ReadCommittedAsOf(g schema.GranuleID, commitBound vclock.Time) (value []byte, ts vclock.Time, ok bool) {
 	c := s.chainOf(g, false)
 	if c == nil {
 		return nil, 0, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := len(c.versions) - 1; i >= 0; i-- {
-		v := &c.versions[i]
-		if v.state == Committed && v.commitTS < commitBound {
-			return append([]byte(nil), v.value...), v.ts, true
+	snap := c.committed.Load()
+	if snap == nil {
+		return nil, 0, false
+	}
+	for i := len(snap.vers) - 1; i >= 0; i-- {
+		if v := &snap.vers[i]; v.commitTS < commitBound {
+			return v.value, v.ts, true
 		}
 	}
 	return nil, 0, false
@@ -229,7 +284,12 @@ func (s *Store) Abort(g schema.GranuleID, ts vclock.Time) {
 // ReadCommittedBefore returns the value and timestamp of the latest
 // committed version of g with ts < bound. It never blocks and never
 // registers the read — this is the access path of Protocols A and C, whose
-// whole point (§4.2, §5.2) is that it mutates nothing.
+// whole point (§4.2, §5.2) is that it mutates nothing. It is wait-free all
+// the way down: the chain directory lookup and the committed-snapshot load
+// take no locks, and the binary search allocates nothing.
+//
+// The returned value aliases immutable store memory and must not be
+// modified (see the package comment's read-path memory model).
 //
 // ok is false if no committed version precedes bound (the granule is
 // unwritten as of the bound — engines surface this as "not found").
@@ -238,14 +298,15 @@ func (s *Store) ReadCommittedBefore(g schema.GranuleID, bound vclock.Time) (valu
 	if c == nil {
 		return nil, 0, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := c.locate(bound); i >= 0; i-- {
-		if c.versions[i].state == Committed {
-			return append([]byte(nil), c.versions[i].value...), c.versions[i].ts, true
-		}
+	snap := c.committed.Load()
+	if snap == nil {
+		return nil, 0, false
 	}
-	return nil, 0, false
+	i := snap.locate(bound)
+	if i < 0 {
+		return nil, 0, false
+	}
+	return snap.vers[i].value, snap.vers[i].ts, true
 }
 
 // ReadRegistered performs an MVTO read (Protocol B): it returns the latest
@@ -265,6 +326,10 @@ func (s *Store) ReadCommittedBefore(g schema.GranuleID, bound vclock.Time) (valu
 // own reads may be waiting the other way. This two-phase shape also lets
 // engines count blocked reads — a quantity the experiments report —
 // without holding chain locks across waits.
+//
+// The returned value aliases immutable store memory and must not be
+// modified (registration mutates the chain's read-timestamp register, but
+// never a value).
 func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) (value []byte, ts vclock.Time, ok bool, wait <-chan struct{}) {
 	c := s.chainOf(g, true)
 	c.mu.Lock()
@@ -288,53 +353,29 @@ func (s *Store) ReadRegistered(g schema.GranuleID, bound, readerTS vclock.Time) 
 		v.readTS = readerTS
 		s.readRegistrations.Add(1)
 	}
-	val, vts := append([]byte(nil), v.value...), v.ts
+	val, vts := v.value, v.ts
 	c.mu.Unlock()
 	return val, vts, true, nil
 }
 
-// WriteCheck validates an MVTO write at writerTS against g's chain,
-// per Reed'78 as adopted by Protocol B:
+// admitWrite validates a write at writerTS against the chain, per Reed'78
+// as adopted by Protocol B — the shared admissibility logic of WriteCheck
+// and InstallChecked:
 //
 //   - if the predecessor version (latest with ts < writerTS) has a
 //     registered read timestamp > writerTS, the write must be rejected —
 //     some later reader already read the predecessor, and interposing this
 //     version would invalidate that read;
+//   - a version already present at exactly writerTS is ErrVersionExists;
 //   - if any version (committed or pending) with ts > writerTS exists, the
 //     write is also rejected ("too late"): this store keeps the exactness
 //     of the §2 dependency graph rather than applying the Thomas write
 //     rule.
 //
-// It returns nil if the write is admissible.
-func (s *Store) WriteCheck(g schema.GranuleID, writerTS vclock.Time) error {
-	c := s.chainOf(g, false)
-	if c == nil {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i := c.locate(writerTS)
-	if i >= 0 && c.versions[i].readTS > writerTS {
-		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.versions[i].readTS, Reason: "predecessor read by a later transaction"}
-	}
-	if i < 0 && c.initRTS > writerTS {
-		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.initRTS, Reason: "initial version read by a later transaction"}
-	}
-	if i+1 < len(c.versions) {
-		return &RejectedError{Granule: g, WriterTS: writerTS, Reason: "a newer version already exists"}
-	}
-	return nil
-}
-
-// InstallChecked atomically performs WriteCheck and, if admissible,
-// installs a pending version — the write path of Protocol B and MVTO.
-// Splitting check from install would let a concurrent reader register a
-// read between them; one critical section keeps the engines' conflict
-// accounting exact.
-func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value []byte) error {
-	c := s.chainOf(g, true)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// It returns nil if the write is admissible, which implies writerTS orders
+// after every existing version (an admissible install appends). Callers
+// must hold c.mu.
+func (c *chain) admitWrite(g schema.GranuleID, writerTS vclock.Time) error {
 	i := c.locate(writerTS)
 	if i >= 0 && c.versions[i].readTS > writerTS {
 		return &RejectedError{Granule: g, WriterTS: writerTS, ReadTS: c.versions[i].readTS, Reason: "predecessor read by a later transaction"}
@@ -348,6 +389,33 @@ func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value [
 		}
 		return &RejectedError{Granule: g, WriterTS: writerTS, Reason: "a newer version already exists"}
 	}
+	return nil
+}
+
+// WriteCheck validates an MVTO write at writerTS against g's chain (see
+// admitWrite for the rules). It returns nil if the write is admissible.
+func (s *Store) WriteCheck(g schema.GranuleID, writerTS vclock.Time) error {
+	c := s.chainOf(g, false)
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitWrite(g, writerTS)
+}
+
+// InstallChecked atomically performs WriteCheck and, if admissible,
+// installs a pending version — the write path of Protocol B and MVTO.
+// Splitting check from install would let a concurrent reader register a
+// read between them; one critical section keeps the engines' conflict
+// accounting exact.
+func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value []byte) error {
+	c := s.chainOf(g, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.admitWrite(g, writerTS); err != nil {
+		return err
+	}
 	v := version{ts: writerTS, value: append([]byte(nil), value...), state: Pending, done: make(chan struct{})}
 	c.versions = append(c.versions, v)
 	s.versionsInstalled.Add(1)
@@ -360,6 +428,9 @@ func (s *Store) InstallChecked(g schema.GranuleID, writerTS vclock.Time, value [
 // UpdatePending replaces the value of the pending version of g at ts —
 // a transaction overwriting its own earlier write. It panics if no such
 // pending version exists (engines only call it for granules they installed).
+// The replacement swaps the version's value slice for a fresh copy; the
+// previous bytes are never written over, preserving the immutability of
+// anything a reader may already hold.
 func (s *Store) UpdatePending(g schema.GranuleID, ts vclock.Time, value []byte) {
 	c := s.chainOf(g, false)
 	if c == nil {
@@ -395,43 +466,42 @@ func (e *RejectedError) Error() string {
 // versions pruned. Callers must choose watermarks no later than any bound a
 // future read may use (the HDD engine uses the minimum of all active
 // initiation times and the released time wall).
+//
+// Reclamation only swaps snapshots: a pruned chain publishes a fresh
+// committed snapshot, while any snapshot a concurrent reader already
+// loaded stays intact (and correct — the watermark rule guarantees no
+// future bound reaches below it) until the runtime collects it.
 func (s *Store) GC(watermark vclock.Time) int {
 	pruned := 0
-	for si := range s.shards {
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		chains := make([]*chain, 0, len(sh.chains))
-		for _, c := range sh.chains {
-			chains = append(chains, c)
-		}
-		sh.mu.Unlock()
-		for _, c := range chains {
-			c.mu.Lock()
-			// Find the latest committed version below the watermark; keep
-			// it, drop all earlier versions.
-			keep := -1
-			for i := c.locate(watermark); i >= 0; i-- {
-				if c.versions[i].state == Committed {
-					keep = i
-					break
-				}
+	s.chains.Range(func(_, v any) bool {
+		c := v.(*chain)
+		c.mu.Lock()
+		// Find the latest committed version below the watermark; keep
+		// it, drop all earlier versions.
+		keep := -1
+		for i := c.locate(watermark); i >= 0; i-- {
+			if c.versions[i].state == Committed {
+				keep = i
+				break
 			}
-			if keep > 0 {
-				// Pending versions below keep cannot exist with a correct
-				// watermark (their writers would still be active); guard
-				// anyway by only dropping committed prefix entries.
-				cut := 0
-				for cut < keep && c.versions[cut].state == Committed {
-					cut++
-				}
-				if cut > 0 {
-					c.versions = append([]version(nil), c.versions[cut:]...)
-					pruned += cut
-				}
-			}
-			c.mu.Unlock()
 		}
-	}
+		if keep > 0 {
+			// Pending versions below keep cannot exist with a correct
+			// watermark (their writers would still be active); guard
+			// anyway by only dropping committed prefix entries.
+			cut := 0
+			for cut < keep && c.versions[cut].state == Committed {
+				cut++
+			}
+			if cut > 0 {
+				c.versions = append([]version(nil), c.versions[cut:]...)
+				c.publishCommitted()
+				pruned += cut
+			}
+		}
+		c.mu.Unlock()
+		return true
+	})
 	s.versionsPruned.Add(int64(pruned))
 	if s.persist != nil && pruned > 0 {
 		s.persist.PersistPrune(watermark)
@@ -473,18 +543,18 @@ func (s *Store) Stats() Stats {
 }
 
 // TotalVersions counts retained versions across all granules (O(n); for
-// tests and the GC ablation experiment).
+// tests and the GC ablation experiment). Like GC, it traverses the
+// lock-free chain directory and takes only one chain mutex at a time —
+// the single-lock-at-a-time discipline DESIGN.md §8.2 documents for all
+// whole-store traversals.
 func (s *Store) TotalVersions() int {
 	total := 0
-	for si := range s.shards {
-		sh := &s.shards[si]
-		sh.mu.Lock()
-		for _, c := range sh.chains {
-			c.mu.Lock()
-			total += len(c.versions)
-			c.mu.Unlock()
-		}
-		sh.mu.Unlock()
-	}
+	s.chains.Range(func(_, v any) bool {
+		c := v.(*chain)
+		c.mu.Lock()
+		total += len(c.versions)
+		c.mu.Unlock()
+		return true
+	})
 	return total
 }

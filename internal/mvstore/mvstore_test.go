@@ -303,10 +303,19 @@ func TestValueIsolation(t *testing.T) {
 	if string(v) != "mutable" {
 		t.Fatalf("stored value aliased caller buffer: %q", v)
 	}
-	v[0] = 'Y'
-	v2, _, _ := s.ReadCommittedBefore(gr, 100)
-	if string(v2) != "mutable" {
-		t.Fatalf("returned value aliased store: %q", v2)
+	// Reads are zero-copy by contract: the slice aliases immutable store
+	// memory (callers must not modify it; engines copy at the cc.Txn
+	// boundary). Overwriting the writer's pending version must never touch
+	// bytes a reader already holds — UpdatePending swaps the slice.
+	gr2 := g(0, 115)
+	_ = s.InstallPending(gr2, 10, []byte("first"))
+	s.Commit(gr2, 10)
+	v2, _, _ := s.ReadCommittedBefore(gr2, 100)
+	_ = s.InstallPending(gr2, 20, []byte("initial"))
+	s.UpdatePending(gr2, 20, []byte("rewrite"))
+	s.Commit(gr2, 20)
+	if string(v2) != "first" {
+		t.Fatalf("held read mutated by later writes: %q", v2)
 	}
 }
 

@@ -186,14 +186,16 @@ func (t *txn) Read(g schema.GranuleID) ([]byte, error) {
 				}
 				e.ctr.ReadRegistrations.Add(1)
 				e.rec.RecordRead(t.init, g, vts, ok)
-				return val, nil
+				return append([]byte(nil), val...), nil
 			}
 		}
 	}
-	// Uncontrolled read: latest committed value, no trace.
+	// Uncontrolled read: latest committed value, no trace. The store
+	// returns shared immutable memory; the cc.Txn boundary owes the caller
+	// a defensive copy.
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
 	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
+	return append([]byte(nil), val...), nil
 }
 
 // Write implements cc.Txn: writes stay fully controlled under either

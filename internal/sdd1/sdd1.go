@@ -191,7 +191,9 @@ func (t *txn) Read(g schema.GranuleID) ([]byte, error) {
 	// stable once the writer class is drained.
 	val, vts, ok := e.store.ReadCommittedBefore(g, t.init)
 	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
+	// The store returns shared immutable memory; the cc.Txn boundary owes
+	// the caller a defensive copy.
+	return append([]byte(nil), val...), nil
 }
 
 // Write implements cc.Txn: writes go to the transaction's own segment; the

@@ -165,15 +165,17 @@ func (t *txn) Read(g schema.GranuleID) ([]byte, error) {
 	root := e.part.Class(t.class).Writes
 	switch {
 	case g.Segment == root:
+		// The store returns shared immutable memory; the cc.Txn boundary
+		// owes the caller a defensive copy.
 		val, vts, ok := e.controller(g.Segment).ReadRegistered(g, t.init, t.init)
 		e.ctr.ReadRegistrations.Add(1)
 		e.rec.RecordRead(t.init, g, vts, ok)
-		return val, nil
+		return append([]byte(nil), val...), nil
 	case e.part.MayRead(t.class, g.Segment):
 		bound := e.links.A(t.class, schema.ClassID(g.Segment), t.init)
 		val, vts, ok := e.controller(g.Segment).ReadBelow(g, bound)
 		e.rec.RecordRead(t.init, g, vts, ok)
-		return val, nil
+		return append([]byte(nil), val...), nil
 	default:
 		err := &cc.AbortError{Reason: cc.ReasonClassViolation,
 			Err: fmt.Errorf("class %d may not read segment %d", t.class, g.Segment)}
@@ -291,7 +293,9 @@ func (t *roTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e.ctr.Reads.Add(1)
 	val, vts, ok := e.controller(g.Segment).ReadBelow(g, t.wall.Threshold(g.Segment))
 	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
+	// The store returns shared immutable memory; the cc.Txn boundary owes
+	// the caller a defensive copy.
+	return append([]byte(nil), val...), nil
 }
 
 // Write implements cc.Txn; read-only transactions cannot write.

@@ -185,7 +185,20 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
-		val, err := t.Read(schema.GranuleID{Segment: schema.SegmentID(req.Seg), Key: req.Key})
+		g := schema.GranuleID{Segment: schema.SegmentID(req.Seg), Key: req.Key}
+		// Zero-copy when the engine offers it: the shared slice aliases
+		// immutable engine memory and is consumed immediately — encoded
+		// into this session's response buffer by writeResponse before the
+		// next request can touch the transaction. The defensive copy the
+		// public API owes its callers happens client-side, in the wire
+		// decoder.
+		var val []byte
+		var err error
+		if sr, ok := t.(cc.SharedReader); ok {
+			val, err = sr.ReadShared(g)
+		} else {
+			val, err = t.Read(g)
+		}
 		if err != nil {
 			return errResponse(err)
 		}

@@ -115,7 +115,9 @@ func (t *mvtoTxn) Read(g schema.GranuleID) ([]byte, error) {
 		}
 		e.ctr.ReadRegistrations.Add(1)
 		e.rec.RecordRead(t.init, g, vts, ok)
-		return val, nil
+		// The store returns shared immutable memory; the cc.Txn boundary
+		// owes the caller a defensive copy.
+		return append([]byte(nil), val...), nil
 	}
 }
 

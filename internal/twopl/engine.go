@@ -162,7 +162,9 @@ func (t *lockTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e.ctr.ReadRegistrations.Add(1) // the shared lock is the read's trace
 	val, vts, ok := e.store.ReadCommittedBefore(g, vclock.Infinity)
 	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
+	// The store returns shared immutable memory; the cc.Txn boundary owes
+	// the caller a defensive copy.
+	return append([]byte(nil), val...), nil
 }
 
 // Write implements cc.Txn: exclusive lock, then install a pending version.
@@ -274,7 +276,9 @@ func (t *snapshotTxn) Read(g schema.GranuleID) ([]byte, error) {
 	e.ctr.Reads.Add(1)
 	val, vts, ok := e.store.ReadCommittedAsOf(g, t.asOf)
 	e.rec.RecordRead(t.init, g, vts, ok)
-	return val, nil
+	// The store returns shared immutable memory; the cc.Txn boundary owes
+	// the caller a defensive copy.
+	return append([]byte(nil), val...), nil
 }
 
 // Write implements cc.Txn; snapshot transactions cannot write.

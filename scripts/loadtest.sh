@@ -6,19 +6,23 @@
 # The server also exposes its observability plane on an ephemeral
 # metrics port; hddload scrapes /metrics at the end of the run, archives
 # the raw snapshot, and folds the WAL fsync and per-class commit series
-# into the same BENCH_net.json.
+# into the same BENCH_net.json. The server runs with mutex profiling on,
+# and hddload additionally archives /debug/pprof/mutex — the read-path
+# contention audit for DESIGN.md §14 (inspect with `go tool pprof -top`).
 #
 # Environment knobs (all optional):
 #   CLIENTS      concurrent workers          (default 8)
 #   TXNS         transactions per worker     (default 200)
 #   OUT          output JSON path            (default BENCH_net.json)
 #   METRICS_OUT  raw /metrics snapshot path  (default metrics_snapshot.txt)
+#   MUTEX_OUT    mutex pprof profile path    (default mutex_profile.pb.gz)
 set -eu
 
 CLIENTS="${CLIENTS:-8}"
 TXNS="${TXNS:-200}"
 OUT="${OUT:-BENCH_net.json}"
 METRICS_OUT="${METRICS_OUT:-metrics_snapshot.txt}"
+MUTEX_OUT="${MUTEX_OUT:-mutex_profile.pb.gz}"
 GO="${GO:-go}"
 
 workdir="$(mktemp -d)"
@@ -42,8 +46,11 @@ trap cleanup EXIT INT TERM
 
 # A throwaway -data-dir makes the run durable so the scraped snapshot
 # carries the WAL flush/fsync series, not just in-memory counters.
+# -mutex-profile-fraction populates /debug/pprof/mutex (sampling every
+# contention event — fine for a bounded smoke run).
 "$workdir/hddserver" -addr 127.0.0.1:0 -addr-file "$addrfile" \
 	-metrics-addr 127.0.0.1:0 -metrics-addr-file "$metricsfile" \
+	-mutex-profile-fraction 1 \
 	-data-dir "$workdir/data" -quiet &
 server_pid=$!
 
@@ -67,6 +74,7 @@ echo "loadtest: server at $addr, metrics at $metrics_addr (pid $server_pid)" >&2
 
 "$workdir/hddload" -addr "$addr" -clients "$CLIENTS" -txns "$TXNS" \
 	-metrics-addr "$metrics_addr" -metrics-out "$METRICS_OUT" \
+	-mutex-profile-out "$MUTEX_OUT" \
 	| "$workdir/benchjson" -out "$OUT"
 
-echo "loadtest: wrote $OUT and $METRICS_OUT" >&2
+echo "loadtest: wrote $OUT, $METRICS_OUT and $MUTEX_OUT" >&2
