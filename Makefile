@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-read bench-smoke experiments examples check clean serve loadtest loadtest-matrix recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke obs-smoke
+.PHONY: all build vet test race cover bench bench-parallel bench-wal bench-read bench-smoke experiments examples check clean serve loadtest loadtest-matrix loadtest-pipeline recovery-smoke fuzz-wal fuzz-checkpoint torture torture-smoke obs-smoke
 
 all: build vet test
 
@@ -72,6 +72,15 @@ loadtest:
 # BENCH_engines.json. ENGINES/CLIENTS/TXNS/OUT env vars tune the run.
 loadtest-matrix:
 	sh scripts/loadtest_matrix.sh
+
+# Pipelined wire-protocol sweep: the loadtest plus a read-heavy depth
+# sweep over the multiplexed v2 client (DESIGN.md §15). The
+# BenchmarkNetPipelineDepth<D> lines land in BENCH_net.json and the
+# depth comparison in pipeline_compare.json. PIPELINE_DEPTHS tunes the
+# sweep.
+PIPELINE_DEPTHS ?= 1,4,16,64
+loadtest-pipeline:
+	PIPELINE="$(PIPELINE_DEPTHS)" sh scripts/loadtest.sh
 
 # Crash-recovery smoke: SIGKILL hddserver mid-load, restart on the same
 # -data-dir, verify WAL replay and a clean follow-up load.

@@ -31,12 +31,13 @@
 package client
 
 import (
-	"errors"
+	"bufio"
 	"fmt"
 	"net"
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"hdd"
 	"hdd/internal/wire"
@@ -49,6 +50,8 @@ type options struct {
 	dialTimeout    time.Duration
 	requestTimeout time.Duration
 	maxIdle        int
+	conns          int
+	forceV1        bool
 }
 
 // WithDialTimeout bounds each TCP dial. Default 5s.
@@ -60,8 +63,23 @@ func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialT
 // transaction timeout.
 func WithRequestTimeout(d time.Duration) Option { return func(o *options) { o.requestTimeout = d } }
 
-// WithMaxIdleConns caps the pooled idle connections. Default 8.
+// WithMaxIdleConns caps the pooled idle connections (protocol v1 mode
+// only; a v2 client uses the fixed multiplexed set — see WithConns).
+// Default 8.
 func WithMaxIdleConns(n int) Option { return func(o *options) { o.maxIdle = n } }
+
+// WithConns sets how many multiplexed connections a protocol-v2 client
+// spreads its transactions over. A handful is plenty: every transaction
+// shares them via tagged frames, and more sockets mostly just dilute the
+// server's write coalescing. Default 4.
+func WithConns(n int) Option { return func(o *options) { o.conns = n } }
+
+// WithProtocolV1 pins the client to wire protocol version 1 — one
+// synchronous request–response per round trip, one pinned connection per
+// transaction — skipping version negotiation. Mainly for interop tests
+// and talking to old servers through picky middleboxes; negotiation
+// normally handles old servers by itself.
+func WithProtocolV1() Option { return func(o *options) { o.forceV1 = true } }
 
 // Client is a pooled connection to one HDD server. It is safe for
 // concurrent use; the transactions it returns are not (a transaction
@@ -70,30 +88,125 @@ type Client struct {
 	addr string
 	opt  options
 
+	// proto is the negotiated wire protocol version: 2 when the server
+	// answered the v2 Hello in kind, 1 otherwise (old server, or
+	// WithProtocolV1). Fixed at Dial.
+	proto int
+	// info caches the Hello exchanged during negotiation.
+	info ServerInfo
+
 	mu     sync.Mutex
 	free   []*conn
 	conns  map[*conn]struct{} // every live connection, pooled or pinned
 	closed bool
+
+	// The protocol-v2 multiplexed connection set: a fixed slot array,
+	// picked round-robin, redialed lazily when a conn dies.
+	smu   sync.Mutex
+	slots []*mconn
+	next  atomic.Uint64
 }
 
 // Client satisfies hdd.Beginner, so hdd.Run / hdd.RunCtx accept it.
 var _ hdd.Beginner = (*Client)(nil)
 
-// Dial connects to an HDD server. It validates the address by opening
-// (and pooling) one connection.
+// Dial connects to an HDD server and negotiates the protocol version: it
+// sends a version-2 Hello on the first connection. A v2 server answers in
+// kind and the client runs multiplexed — many concurrent transactions
+// tag-demultiplexed over a small fixed connection set. A v1 server
+// rejects the tagged frame (and drops the connection, which is expected
+// and harmless); the client then redials and speaks classic v1, one
+// pinned connection per transaction — so old servers work unchanged.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	o := options{dialTimeout: 5 * time.Second, requestTimeout: 30 * time.Second, maxIdle: 8}
+	o := options{dialTimeout: 5 * time.Second, requestTimeout: 30 * time.Second, maxIdle: 8, conns: 4}
 	for _, f := range opts {
 		f(&o)
 	}
+	if o.conns < 1 {
+		o.conns = 1
+	}
 	c := &Client{addr: addr, opt: o, conns: make(map[*conn]struct{})}
-	cn, err := c.dial()
-	if err != nil {
+	if o.forceV1 {
+		c.proto = 1
+		cn, err := c.dial()
+		if err != nil {
+			return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+		}
+		c.put(cn)
+		return c, nil
+	}
+	if err := c.negotiate(); err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 	}
-	c.put(cn)
 	return c, nil
 }
+
+// negotiate performs the version handshake on a fresh connection (see
+// Dial). On the v2 path the handshake socket is kept as the first
+// multiplexed slot.
+func (c *Client) negotiate() error {
+	nc, err := c.dialRaw()
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	nc.SetDeadline(time.Now().Add(c.opt.requestTimeout))
+	hello := wire.AppendRequest2(nil, &wire.Request{Op: wire.OpHello, Tag: 1})
+	if err := wire.WriteFrame(bw, hello); err == nil {
+		err = bw.Flush()
+	} else {
+		nc.Close()
+		return err
+	}
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	payload, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	if wire.PayloadVersion(payload) == wire.Version2 {
+		resp, err := wire.DecodeResponse2(wire.OpHello, payload)
+		if err != nil {
+			nc.Close()
+			return err
+		}
+		if err := resp.Err(); err != nil {
+			nc.Close()
+			return err
+		}
+		c.proto = 2
+		c.info = ServerInfo{Engine: resp.EngineName, Caps: hdd.Capability(resp.Caps)}
+		c.slots = make([]*mconn, c.opt.conns)
+		nc.SetDeadline(time.Time{})
+		m := newMconn(c, nc, br, c.opt.requestTimeout)
+		c.slots[0] = m
+		go m.readLoop()
+		return nil
+	}
+	// A version-1 payload answering a version-2 Hello: an old server,
+	// which reported a protocol error and is dropping this connection.
+	// Expected — fall back to v1 on a fresh connection.
+	if _, err := wire.DecodeResponse(wire.OpHello, payload); err != nil {
+		nc.Close()
+		return err
+	}
+	nc.Close()
+	c.proto = 1
+	cn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.put(cn)
+	return nil
+}
+
+// ProtocolVersion reports the wire protocol version negotiated at Dial
+// (1 or 2).
+func (c *Client) ProtocolVersion() int { return c.proto }
 
 // Begin starts an update transaction of the given class on the server.
 func (c *Client) Begin(class hdd.ClassID) (hdd.Txn, error) {
@@ -138,8 +251,12 @@ type ServerInfo struct {
 }
 
 // ServerInfo asks the server (via the Hello request) which engine it
-// serves and which optional capabilities that engine backs.
+// serves and which optional capabilities that engine backs. On a v2
+// client this is answered from the Hello exchanged at negotiation.
 func (c *Client) ServerInfo() (ServerInfo, error) {
+	if c.proto == 2 {
+		return c.info, nil
+	}
 	cn, err := c.get()
 	if err != nil {
 		return ServerInfo{}, err
@@ -157,6 +274,20 @@ func (c *Client) ServerInfo() (ServerInfo, error) {
 }
 
 func (c *Client) begin(req *wire.Request) (hdd.Txn, error) {
+	if c.proto == 2 {
+		m, err := c.slot()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := m.roundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := resp.Err(); err != nil {
+			return nil, err
+		}
+		return &Txn{cl: c, mc: m, id: resp.Txn, class: hdd.ClassID(resp.Class)}, nil
+	}
 	cn, err := c.get()
 	if err != nil {
 		return nil, err
@@ -178,20 +309,31 @@ func (c *Client) begin(req *wire.Request) (hdd.Txn, error) {
 // txns_open, force_aborts, …), and request-latency histogram summaries
 // (commit_p99_ns, read_mean_ns, …). Durations are in nanoseconds.
 func (c *Client) Stats() (map[string]int64, error) {
-	cn, err := c.get()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := cn.roundTrip(&wire.Request{Op: wire.OpStats})
-	if err != nil {
-		cn.close()
-		return nil, err
+	var resp wire.Response
+	if c.proto == 2 {
+		m, err := c.slot()
+		if err != nil {
+			return nil, err
+		}
+		resp, err = m.roundTrip(&wire.Request{Op: wire.OpStats})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cn, err := c.get()
+		if err != nil {
+			return nil, err
+		}
+		resp, err = cn.roundTrip(&wire.Request{Op: wire.OpStats})
+		if err != nil {
+			cn.close()
+			return nil, err
+		}
+		c.put(cn)
 	}
 	if err := resp.Err(); err != nil {
-		c.put(cn)
 		return nil, err
 	}
-	c.put(cn)
 	out := make(map[string]int64, len(resp.Stats))
 	for _, e := range resp.Stats {
 		out[e.Name] = e.Value
@@ -216,7 +358,83 @@ func (c *Client) Close() error {
 	for _, cn := range all {
 		cn.nc.Close()
 	}
+	c.smu.Lock()
+	slots := make([]*mconn, 0, len(c.slots))
+	for i, m := range c.slots {
+		if m != nil {
+			slots = append(slots, m)
+		}
+		c.slots[i] = nil
+	}
+	c.smu.Unlock()
+	for _, m := range slots {
+		// fail wakes every pending call with the terminal error and closes
+		// the socket; the server's session teardown force-aborts whatever
+		// transactions were left open.
+		m.fail(errClientClosed)
+	}
 	return nil
+}
+
+// slot picks the next multiplexed connection round-robin, lazily
+// redialing a slot whose conn died. Unlike the v1 pool there is no
+// health probe: a live mconn has a reader goroutine pinned to the socket,
+// so silent death surfaces as a failed conn, not a stale pool entry.
+func (c *Client) slot() (*mconn, error) {
+	i := int(c.next.Add(1) % uint64(len(c.slots)))
+	c.smu.Lock()
+	if c.isClosed() {
+		c.smu.Unlock()
+		return nil, errClientClosed
+	}
+	if m := c.slots[i]; m != nil && !m.isDead() {
+		c.smu.Unlock()
+		return m, nil
+	}
+	c.smu.Unlock()
+
+	// Dial outside the slot lock so one slow dial doesn't serialize every
+	// other slot's traffic.
+	nc, err := c.dialRaw()
+	if err != nil {
+		return nil, err
+	}
+	m := newMconn(c, nc, bufio.NewReader(nc), c.opt.requestTimeout)
+	c.smu.Lock()
+	if c.isClosed() {
+		c.smu.Unlock()
+		nc.Close()
+		return nil, errClientClosed
+	}
+	if cur := c.slots[i]; cur != nil && !cur.isDead() {
+		// A racing caller already replaced the slot; use theirs.
+		c.smu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	c.slots[i] = m
+	c.smu.Unlock()
+	go m.readLoop()
+	return m, nil
+}
+
+// dropSlot evicts a dead conn from the slot table (called by mconn.fail)
+// so the next request redials instead of reusing it.
+func (c *Client) dropSlot(m *mconn) {
+	c.smu.Lock()
+	for i, cur := range c.slots {
+		if cur == m {
+			c.slots[i] = nil
+		}
+	}
+	c.smu.Unlock()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	return closed
 }
 
 // untrack forgets a connection that is being closed.
@@ -233,7 +451,7 @@ func (c *Client) get() (*conn, error) {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			return nil, errors.New("client: closed")
+			return nil, errClientClosed
 		}
 		n := len(c.free)
 		if n == 0 {
@@ -265,7 +483,9 @@ func (c *Client) put(cn *conn) {
 	c.mu.Unlock()
 }
 
-func (c *Client) dial() (*conn, error) {
+// dialRaw opens one TCP connection with Nagle disabled (the protocol is
+// request–response; coalescing happens explicitly, server-side).
+func (c *Client) dialRaw() (net.Conn, error) {
 	nc, err := net.DialTimeout("tcp", c.addr, c.opt.dialTimeout)
 	if err != nil {
 		return nil, err
@@ -273,13 +493,21 @@ func (c *Client) dial() (*conn, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	return nc, nil
+}
+
+func (c *Client) dial() (*conn, error) {
+	nc, err := c.dialRaw()
+	if err != nil {
+		return nil, err
+	}
 	cn := newConn(nc, c.opt.requestTimeout)
 	cn.cl = c
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		nc.Close()
-		return nil, errors.New("client: closed")
+		return nil, errClientClosed
 	}
 	c.conns[cn] = struct{}{}
 	c.mu.Unlock()

@@ -1,0 +1,103 @@
+package client
+
+// Unit tests for conn.healthy()'s probe-skip fast path: a connection that
+// completed a round-trip within connFreshFor is trusted without the probe
+// syscall, while a stale one still pays for (and benefits from) the probe.
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// connPair returns a connected (client conn, server side) pair over
+// loopback, torn down with the test.
+func connPair(t *testing.T) (*conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		nc  net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		nc, err := ln.Accept()
+		ch <- accepted{nc, err}
+	}()
+	cnc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	t.Cleanup(func() { cnc.Close(); srv.nc.Close() })
+	return newConn(cnc, time.Second), srv.nc
+}
+
+// drainPeerClose closes the server side and waits until the client
+// socket's death is observable (the FIN has arrived, so probeIdle sees
+// EOF — which is sticky, not consumed), making each test's verdict
+// deterministic.
+func drainPeerClose(t *testing.T, cn *conn, peer net.Conn) {
+	t.Helper()
+	peer.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for probeIdle(cn.nc) {
+		if time.Now().After(deadline) {
+			t.Fatal("peer close never became visible on the client socket")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHealthySkipsProbeWhenFresh pins the fast path: with lastOK inside
+// connFreshFor, healthy() must answer true without touching the socket —
+// even though the socket is in fact dead. (That window is the trade the
+// optimisation makes; the next round-trip surfaces the failure.)
+func TestHealthySkipsProbeWhenFresh(t *testing.T) {
+	cn, peer := connPair(t)
+	drainPeerClose(t, cn, peer)
+	cn.lastOK = time.Now()
+	if !cn.healthy() {
+		t.Fatal("healthy() probed (and caught the dead socket) despite a fresh lastOK; the fast path is gone")
+	}
+}
+
+// TestHealthyProbesWhenStale pins the slow path: once lastOK ages past
+// connFreshFor (or never happened), healthy() must run the probe and
+// catch a dead socket.
+func TestHealthyProbesWhenStale(t *testing.T) {
+	cn, peer := connPair(t)
+	drainPeerClose(t, cn, peer)
+
+	// Never completed a round-trip: must probe, must notice.
+	if cn.healthy() {
+		t.Fatal("healthy() = true on a dead socket with zero lastOK")
+	}
+
+	cn2, peer2 := connPair(t)
+	drainPeerClose(t, cn2, peer2)
+	cn2.lastOK = time.Now().Add(-2 * connFreshFor)
+	if cn2.healthy() {
+		t.Fatal("healthy() = true on a dead socket with a stale lastOK")
+	}
+}
+
+// TestHealthyLiveIdleConn pins the baseline either path must preserve: a
+// live idle connection is healthy, fresh or not.
+func TestHealthyLiveIdleConn(t *testing.T) {
+	cn, _ := connPair(t)
+	if !cn.healthy() {
+		t.Fatal("healthy() = false on a live idle conn (probe path)")
+	}
+	cn.lastOK = time.Now()
+	if !cn.healthy() {
+		t.Fatal("healthy() = false on a live idle conn (fresh path)")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package client
+
+import "net"
+
+// probeIdle on platforms without raw-fd reads: assume the connection is
+// alive and let the next round-trip surface any failure.
+func probeIdle(nc net.Conn) bool { return true }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package client
+
+import (
+	"net"
+	"syscall"
+)
+
+// probeIdle performs exactly one non-blocking read syscall on the raw
+// socket to detect silent death (server restart, RST from a middlebox).
+// A live idle socket answers EAGAIN; a dead one answers EOF or a reset
+// immediately. Readable data on a supposedly idle connection is a
+// protocol violation and also counts as dead. No deadline is involved:
+// Go short-circuits a read whose deadline has already expired without
+// touching the socket, so the classic expired-deadline probe never
+// observes anything — the raw fd is the only way to peek without
+// blocking.
+func probeIdle(nc net.Conn) bool {
+	sc, ok := nc.(syscall.Conn)
+	if !ok {
+		return true // not a real socket (test double); nothing to probe
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	cerr := rc.Read(func(fd uintptr) bool {
+		var b [1]byte
+		_, err := syscall.Read(int(fd), b[:])
+		alive = err == syscall.EAGAIN || err == syscall.EWOULDBLOCK
+		return true // done after one attempt — never park in the poller
+	})
+	return cerr == nil && alive
+}

@@ -4,7 +4,6 @@ package client
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -29,6 +28,9 @@ type conn struct {
 	// mid-frame, so the conn must never re-enter the pool — Client.put
 	// closes it instead, whatever the calling code path did.
 	broken bool
+	// lastOK is when the conn last completed a successful round-trip;
+	// healthy() skips its probe syscall while this is fresh.
+	lastOK time.Time
 }
 
 func newConn(nc net.Conn, timeout time.Duration) *conn {
@@ -62,26 +64,29 @@ func (cn *conn) roundTrip(req *wire.Request) (wire.Response, error) {
 		cn.broken = true
 		return wire.Response{}, fmt.Errorf("client: %w", err)
 	}
+	cn.lastOK = time.Now()
 	return resp, nil
 }
 
+// connFreshFor is how long after a successful round-trip healthy() trusts
+// the conn without probing: long enough to skip the syscall on every
+// hot-path checkout, short enough that a restarted server is still caught
+// before a stale pooled conn is handed out.
+const connFreshFor = time.Second
+
 // healthy probes an idle connection for silent death (server restart, RST
-// from a middlebox): a one-byte read with an already-expired deadline
-// times out on a live idle socket, while a dead one returns EOF or a
-// reset immediately. Stray readable data on an idle conn is a protocol
-// violation and also counts as dead. One syscall, no round-trip.
+// from a middlebox) with one non-blocking read on the raw socket (see
+// probeIdle). A conn that completed a round-trip within connFreshFor is
+// trusted without the probe — no syscall at all on a busy pool. One
+// syscall otherwise, no round-trip.
 func (cn *conn) healthy() bool {
 	if cn.broken || cn.br.Buffered() > 0 {
 		return false
 	}
-	if err := cn.nc.SetReadDeadline(time.Now()); err != nil {
-		return false
+	if !cn.lastOK.IsZero() && time.Since(cn.lastOK) < connFreshFor {
+		return true
 	}
-	var b [1]byte
-	_, err := cn.nc.Read(b[:])
-	cn.nc.SetReadDeadline(time.Time{})
-	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
+	return probeIdle(cn.nc)
 }
 
 func (cn *conn) close() {
@@ -91,15 +96,19 @@ func (cn *conn) close() {
 	cn.nc.Close()
 }
 
-// Txn is a transaction open on the server, pinned to one connection. It
-// implements hdd.Txn with the embedded API's semantics: abort errors
-// satisfy hdd.IsAbort, operations after Commit/Abort fail, and the value
-// returned by Read is owned by the caller.
+// Txn is a transaction open on the server. On a protocol-v1 client it is
+// pinned to one pooled connection; on a v2 client it shares a multiplexed
+// connection with every other transaction, so dozens of concurrent Txns
+// ride a handful of sockets. Either way it implements hdd.Txn with the
+// embedded API's semantics: abort errors satisfy hdd.IsAbort, operations
+// after Commit/Abort fail, and the value returned by Read is owned by the
+// caller.
 //
 // Like embedded transactions, a Txn is not safe for concurrent use.
 type Txn struct {
 	cl    *Client
-	cn    *conn
+	cn    *conn  // v1: pinned pooled connection (nil on v2)
+	mc    *mconn // v2: shared multiplexed connection (nil on v1)
 	id    uint64
 	class hdd.ClassID
 	done  bool
@@ -163,10 +172,18 @@ func (t *Txn) Abort() error {
 	return t.finish(wire.OpAbort)
 }
 
-// op runs one mid-transaction round-trip. A transport failure kills the
-// pinned connection and finishes the transaction locally: the server's
-// session teardown force-aborts the remote side.
+// op runs one mid-transaction round-trip. A transport failure finishes
+// the transaction locally: the server's session teardown (v1: this conn's
+// session; v2: the shared conn's session) force-aborts the remote side.
 func (t *Txn) op(req *wire.Request) (wire.Response, error) {
+	if t.mc != nil {
+		resp, err := t.mc.roundTrip(req)
+		if err != nil {
+			t.done = true
+			return wire.Response{}, err
+		}
+		return resp, resp.Err()
+	}
 	resp, err := t.cn.roundTrip(req)
 	if err != nil {
 		t.done = true
@@ -176,13 +193,22 @@ func (t *Txn) op(req *wire.Request) (wire.Response, error) {
 	return resp, resp.Err()
 }
 
-// finish sends Commit or Abort, after which the transaction is done and
-// its connection is pooled again whatever the engine answered (the session
-// keeps the connection healthy across engine-level errors; only transport
-// errors poison it).
+// finish sends Commit or Abort, after which the transaction is done. On
+// v1 its pinned connection is pooled again whatever the engine answered
+// (the session keeps the connection healthy across engine-level errors;
+// only transport errors poison it); on v2 the shared connection needs no
+// handoff.
 func (t *Txn) finish(op wire.Op) error {
 	if t.done {
 		return cc.ErrTxnDone
+	}
+	if t.mc != nil {
+		resp, err := t.mc.roundTrip(&wire.Request{Op: op, Txn: t.id})
+		t.done = true
+		if err != nil {
+			return err
+		}
+		return resp.Err()
 	}
 	resp, err := t.cn.roundTrip(&wire.Request{Op: op, Txn: t.id})
 	t.done = true

@@ -60,6 +60,7 @@ func main() {
 		wallInterval = flag.Int64("wall-interval", 256, "time-wall release interval in logical ticks")
 		gcEvery      = flag.Int64("gc-every", 64, "run GC every N commits; 0 disables")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle for this long; 0 disables")
+		maxPipeline  = flag.Int("max-pipeline", 0, "max in-flight pipelined requests per v2 session; 0 uses the server default")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before force-closing sessions")
 		quiet        = flag.Bool("quiet", false, "suppress connection-level diagnostics")
 
@@ -114,7 +115,7 @@ func main() {
 			counters["wal_torn_tail"] == 1, counters["wal_high_water"])
 	}
 
-	opts := server.Options{IdleTimeout: *idleTimeout, Obs: plane}
+	opts := server.Options{IdleTimeout: *idleTimeout, MaxPipeline: *maxPipeline, Obs: plane}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -85,6 +85,28 @@ func (h *Histogram) Quantile(q float64) time.Duration { return h.h.Quantile(q) }
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return h.h.Max() }
 
+// ValueHistogram is a unitless distribution — batch sizes, queue depths —
+// backed by the same reservoir histogram as Histogram but exposed as raw
+// integer quantiles rather than seconds.
+type ValueHistogram struct {
+	h metrics.Histogram
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v int64) { h.h.Observe(time.Duration(v)) }
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() int64 { return h.h.Count() }
+
+// Mean returns the mean observed value.
+func (h *ValueHistogram) Mean() int64 { return int64(h.h.Mean()) }
+
+// Quantile returns the q-quantile of the retained reservoir.
+func (h *ValueHistogram) Quantile(q float64) int64 { return int64(h.h.Quantile(q)) }
+
+// Max returns the largest observation.
+func (h *ValueHistogram) Max() int64 { return int64(h.h.Max()) }
+
 // summaryQuantiles are the quantile samples every summary family exposes.
 var summaryQuantiles = []float64{0.5, 0.9, 0.99}
 
@@ -183,6 +205,16 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 	return h
 }
 
+// ValueHistogram registers a unitless summary series and returns its
+// instrument. Exposed as raw integer quantile samples plus _sum/_count —
+// the right shape for batch sizes and pipeline depths, where rendering
+// nanosecond-scaled seconds would be nonsense.
+func (r *Registry) ValueHistogram(name, help string, labels ...string) *ValueHistogram {
+	h := &ValueHistogram{}
+	r.register(name, help, kindSummary, labels, (*valueSummaryCollector)(h))
+	return h
+}
+
 func (r *Registry) register(name, help string, kind metricKind, labels []string, col collector) {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
@@ -249,6 +281,21 @@ func (h *summaryCollector) collect(w io.Writer, name, labels string) {
 	// metrics.Histogram API.
 	sum := time.Duration(count) * hh.Mean()
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatSeconds(sum))
+	fmt.Fprintf(w, "%s_count%s %s\n", name, labels, strconv.FormatInt(count, 10))
+}
+
+// valueSummaryCollector renders a ValueHistogram as a Prometheus summary
+// of raw integers.
+type valueSummaryCollector ValueHistogram
+
+func (h *valueSummaryCollector) collect(w io.Writer, name, labels string) {
+	hh := (*ValueHistogram)(h)
+	count := hh.Count()
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s%s %s\n", name, withQuantile(labels, q),
+			strconv.FormatInt(hh.Quantile(q), 10))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, strconv.FormatInt(count*hh.Mean(), 10))
 	fmt.Fprintf(w, "%s_count%s %s\n", name, labels, strconv.FormatInt(count, 10))
 }
 

@@ -46,6 +46,9 @@ func TestExpositionFormat(t *testing.T) {
 	h := r.Histogram("hdd_lat_seconds", "Latency.", "op", "commit")
 	h.Observe(2 * time.Millisecond)
 	h.Observe(4 * time.Millisecond)
+	vh := r.ValueHistogram("hdd_batch_ops", "Ops per batch.")
+	vh.Observe(3)
+	vh.Observe(5)
 
 	out := scrape(r)
 	for _, want := range []string{
@@ -61,6 +64,12 @@ func TestExpositionFormat(t *testing.T) {
 		`hdd_lat_seconds{op="commit",quantile="0.99"} 0.004` + "\n",
 		`hdd_lat_seconds_sum{op="commit"} 0.006` + "\n",
 		`hdd_lat_seconds_count{op="commit"} 2` + "\n",
+		// Unitless summaries render raw integers, not seconds.
+		"# TYPE hdd_batch_ops summary\n",
+		`hdd_batch_ops{quantile="0.5"} 3` + "\n",
+		`hdd_batch_ops{quantile="0.99"} 5` + "\n",
+		"hdd_batch_ops_sum 8\n",
+		"hdd_batch_ops_count 2\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

@@ -1,0 +1,206 @@
+package server
+
+// The version-2 pipelined session path (DESIGN.md §15). A v2 session
+// stops being one synchronous request–response loop: the reader goroutine
+// decodes frames and hands them off, handlers run concurrently where the
+// protocol allows it, and a dedicated writer goroutine coalesces whatever
+// responses have queued up into single large socket writes — the PR 4
+// group-commit idiom applied at the socket.
+//
+// Ordering contract: operations addressing the same transaction execute
+// (and are answered) in arrival order, via a per-transaction FIFO drained
+// by at most one goroutine at a time. Everything else — begins, Hello,
+// Stats, ops on distinct transactions — runs concurrently and may be
+// answered out of order; the tag is the client's correlation handle. A
+// client cannot address a transaction before it has seen the begin
+// response that names it, so concurrent begins need no ordering.
+//
+// Backpressure: a session admits at most MaxPipeline requests in flight
+// (sem). The response queue's capacity matches, so a handler's enqueue
+// never blocks — which is what makes teardown's inflight.Wait() safe.
+
+import (
+	"bufio"
+	"errors"
+	"time"
+
+	"hdd/internal/cc"
+	"hdd/internal/wire"
+)
+
+// pipeWriteBuf sizes the v2 session's socket write buffer: large enough
+// that one flush carries many coalesced response frames.
+const pipeWriteBuf = 64 << 10
+
+// sessTxn is one open transaction plus its FIFO of pending requests. The
+// drain goroutine (at most one per transaction, spawned lazily) executes
+// them in arrival order.
+type sessTxn struct {
+	t cc.Txn
+
+	// q and running are guarded by the owning session's tmu (the queues
+	// are touched only at enqueue/dequeue, never during engine calls, so
+	// one session-wide mutex is cheaper than one per transaction).
+	q       []*wire.Request
+	running bool
+}
+
+// startPipeline latches the session into version-2 mode: from here on
+// every frame must be v2, and responses flow through the writer
+// goroutine. Called by the session goroutine on the first v2 frame.
+func (s *session) startPipeline() {
+	s.v2 = true
+	n := s.srv.opts.MaxPipeline
+	s.sem = make(chan struct{}, n)
+	// +1 leaves room for the single protocol-error response the reader
+	// itself may enqueue before tearing down.
+	s.wq = make(chan *[]byte, n+1)
+	s.writerDone = make(chan struct{})
+	// The v1 path flushes after every response, so nothing is buffered
+	// when the session latches; swap in a buffer sized for coalescing.
+	s.bw = bufio.NewWriterSize(s.conn, pipeWriteBuf)
+	go s.writeLoop()
+}
+
+// dispatch admits one decoded v2 request into the pipeline. It blocks
+// (applying backpressure on the socket) when MaxPipeline requests are
+// already in flight.
+func (s *session) dispatch(req *wire.Request) {
+	s.sem <- struct{}{}
+	s.inflight.Add(1)
+	s.srv.pipelineDepth.Add(1)
+	switch req.Op {
+	case wire.OpRead, wire.OpWrite, wire.OpCommit, wire.OpAbort, wire.OpBatch:
+		s.tmu.Lock()
+		st, ok := s.txns[req.Txn]
+		if !ok {
+			s.tmu.Unlock()
+			s.complete(req, unknownTxn(req.Txn))
+			return
+		}
+		st.q = append(st.q, req)
+		if !st.running {
+			st.running = true
+			go s.drainTxn(st)
+		}
+		s.tmu.Unlock()
+	default:
+		go s.run(req)
+	}
+}
+
+// drainTxn executes one transaction's queued requests in order until the
+// queue is empty, then retires. The serial section here is also what
+// keeps zero-copy reads sound: a shared slice returned by ReadShared is
+// encoded into the response frame (in complete) before the next request
+// can advance the same transaction.
+func (s *session) drainTxn(st *sessTxn) {
+	for {
+		s.tmu.Lock()
+		if len(st.q) == 0 {
+			st.running = false
+			s.tmu.Unlock()
+			return
+		}
+		req := st.q[0]
+		st.q = st.q[1:]
+		s.tmu.Unlock()
+		s.run1(req)
+	}
+}
+
+// run executes one non-transactional request in its own goroutine.
+func (s *session) run(req *wire.Request) {
+	s.run1(req)
+}
+
+func (s *session) run1(req *wire.Request) {
+	start := time.Now()
+	resp := s.handle(req)
+	if h := s.srv.latencyFor(req.Op); h != nil {
+		h.Observe(time.Since(start))
+	}
+	s.complete(req, resp)
+}
+
+// complete encodes a response — tag echoed — and queues it for the
+// writer. The enqueue cannot block (see the capacity invariant above);
+// in-flight accounting is released only after the frame is queued, so
+// teardown's inflight.Wait() → close(wq) sequence never loses a response.
+func (s *session) complete(req *wire.Request, resp *wire.Response) {
+	resp.Tag = req.Tag
+	bp := wire.GetBuffer()
+	*bp = wire.AppendResponse2((*bp)[:0], req.Op, resp)
+	s.wq <- bp
+	s.srv.pipelineDepth.Add(-1)
+	s.inflight.Done()
+	<-s.sem
+}
+
+// writeLoop is the session's writer goroutine: it blocks for the next
+// queued response frame, then greedily drains everything else already
+// queued into the same buffered write and flushes once — one syscall
+// carrying as many responses as the pipeline produced since the last
+// flush. On a write error it severs the connection (unblocking the
+// reader) and keeps consuming the queue so handlers never block.
+func (s *session) writeLoop() {
+	defer close(s.writerDone)
+	failed := false
+	for bp := range s.wq {
+		if failed {
+			wire.PutBuffer(bp)
+			continue
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.srv.opts.WriteTimeout))
+		err := wire.WriteFrame(s.bw, *bp)
+		wire.PutBuffer(bp)
+		frames := 1
+		closed := false
+	coalesce:
+		for err == nil {
+			select {
+			case more, ok := <-s.wq:
+				if !ok {
+					closed = true
+					break coalesce
+				}
+				err = wire.WriteFrame(s.bw, *more)
+				wire.PutBuffer(more)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		if err == nil {
+			err = s.bw.Flush()
+		}
+		s.srv.writerFlushes.Inc()
+		s.srv.flushedFrames.Add(int64(frames))
+		if frames > 1 {
+			s.srv.coalescedWrites.Inc()
+		}
+		if err != nil {
+			failed = true
+			s.closeOnce.Do(func() { s.conn.Close() })
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// pipelineProtoErr answers a protocol violation on a latched v2 session —
+// an undecodable frame, or a v1 frame after the latch — through the
+// writer queue (the reserved +1 slot), so the peer sees a diagnostic
+// before the connection drops. The caller returns from serve afterwards;
+// teardown flushes and closes.
+func (s *session) pipelineProtoErr(tag uint64, err error) {
+	resp := &wire.Response{Status: wire.StatusError, Tag: tag, Message: err.Error()}
+	bp := wire.GetBuffer()
+	*bp = wire.AppendResponse2((*bp)[:0], 0, resp)
+	s.wq <- bp
+}
+
+// errVersionDowngrade is the protocol violation a session reports when a
+// version-1 frame arrives after the session latched to version 2.
+var errVersionDowngrade = errors.New("wire: version 1 frame on a version 2 session")

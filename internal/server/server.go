@@ -67,6 +67,10 @@ type Options struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response write. Defaults to 10s.
 	WriteTimeout time.Duration
+	// MaxPipeline caps how many version-2 requests one session may have in
+	// flight; further frames block in the socket (backpressure). Defaults
+	// to 256.
+	MaxPipeline int
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 	// Obs is the observability plane the server registers its request
@@ -81,6 +85,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
+	}
+	if o.MaxPipeline <= 0 {
+		o.MaxPipeline = 256
 	}
 	return o
 }
@@ -109,7 +116,16 @@ type Server struct {
 	// both /metrics and the Stats opcode's commit_*/read_* entries (one
 	// source of truth).
 	plane  *obs.Plane
-	reqLat [wire.OpBeginReadOnlyFor + 1]*obs.Histogram
+	reqLat [wire.OpBatch + 1]*obs.Histogram
+
+	// Pipeline instrumentation (DESIGN.md §15): current admitted-request
+	// depth across all v2 sessions, writer flush accounting, and the
+	// batch-size distribution.
+	pipelineDepth   atomic.Int64
+	coalescedWrites *obs.Counter
+	writerFlushes   *obs.Counter
+	flushedFrames   *obs.Counter
+	batchOps        *obs.ValueHistogram
 
 	connsAccepted atomic.Int64
 	txnsOpen      atomic.Int64
@@ -164,6 +180,7 @@ var opLabels = map[wire.Op]string{
 	wire.OpAbort:            "abort",
 	wire.OpStats:            "stats",
 	wire.OpHello:            "hello",
+	wire.OpBatch:            "batch",
 }
 
 // registerMetrics adds the server's families to the plane: one request
@@ -187,6 +204,17 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("hdd_server_force_aborts_total",
 		"Orphaned transactions force-aborted by session teardown.",
 		s.forceAborts.Load)
+	r.GaugeFunc("hdd_server_pipeline_depth",
+		"Version-2 requests currently admitted and unanswered, across all sessions.",
+		s.pipelineDepth.Load)
+	s.coalescedWrites = r.Counter("hdd_server_coalesced_writes_total",
+		"Writer flushes that carried more than one response frame.")
+	s.writerFlushes = r.Counter("hdd_server_writer_flushes_total",
+		"Socket flushes by v2 session writers.")
+	s.flushedFrames = r.Counter("hdd_server_flushed_frames_total",
+		"Response frames written by v2 session writers (flushed_frames/writer_flushes = mean coalescing factor).")
+	s.batchOps = r.ValueHistogram("hdd_server_batch_ops",
+		"Operations per OpBatch request.")
 }
 
 // latencyFor returns the request-latency histogram for an opcode, nil for
@@ -421,6 +449,10 @@ func (s *Server) statEntries() []wire.StatEntry {
 		{Name: "sessions_open", Value: int64(s.OpenSessions())},
 		{Name: "txns_open", Value: s.txnsOpen.Load()},
 		{Name: "force_aborts", Value: s.forceAborts.Load()},
+		{Name: "pipeline_depth", Value: s.pipelineDepth.Load()},
+		{Name: "writer_flushes", Value: s.writerFlushes.Value()},
+		{Name: "coalesced_writes", Value: s.coalescedWrites.Value()},
+		{Name: "flushed_frames", Value: s.flushedFrames.Value()},
 	}
 	if s.activeTxns != nil {
 		entries = append(entries, wire.StatEntry{Name: "active_txns", Value: int64(s.activeTxns.ActiveTxns())})

@@ -32,20 +32,32 @@ type session struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	// txns maps wire transaction ids to the session's open transactions.
-	// Only the session goroutine touches it.
-	txns map[uint64]cc.Txn
+	// txns maps wire transaction ids to the session's open transactions
+	// with their per-transaction request FIFOs, guarded by tmu: on a v1
+	// session only the session goroutine touches it, but a v2 session's
+	// concurrent handlers share it.
+	tmu  sync.Mutex
+	txns map[uint64]*sessTxn
 
 	// forced is set by forceClose; the session goroutine observes it after
 	// its read is interrupted and exits instead of continuing the drain.
 	forced atomic.Bool
 
 	// closeOnce guards conn.Close so interrupt/forceClose (server
-	// goroutine) and teardown (session goroutine) compose.
+	// goroutine), the v2 writer goroutine, and teardown (session
+	// goroutine) compose.
 	closeOnce sync.Once
 
 	rbuf []byte // reused frame read buffer
-	wbuf []byte // reused response encode buffer
+	wbuf []byte // reused response encode buffer (v1 path)
+
+	// Version-2 pipeline state (see pipeline.go); zero until the session
+	// latches to v2 at its first version-2 frame.
+	v2         bool
+	sem        chan struct{}  // in-flight admission, cap MaxPipeline
+	wq         chan *[]byte   // encoded responses awaiting the writer
+	writerDone chan struct{}  // closed when writeLoop exits
+	inflight   sync.WaitGroup // admitted requests not yet queued to wq
 }
 
 func newSession(s *Server, conn net.Conn) *session {
@@ -54,7 +66,7 @@ func newSession(s *Server, conn net.Conn) *session {
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
-		txns: make(map[uint64]cc.Txn),
+		txns: make(map[uint64]*sessTxn),
 	}
 }
 
@@ -72,8 +84,13 @@ func (s *session) forceClose() {
 	s.conn.SetReadDeadline(time.Now())
 }
 
-// serve is the session goroutine: one request frame in, one response frame
-// out, until the peer hangs up, errs, times out, or the server drains.
+// serve is the session goroutine. A version-1 session is one synchronous
+// loop: request frame in, response frame out, in order. The first
+// version-2 frame latches the session into pipelined mode (pipeline.go):
+// this goroutine then only reads and decodes, handlers run concurrently
+// under the per-transaction ordering rules, and the writer goroutine owns
+// the socket's write side. The loop runs until the peer hangs up, errs,
+// times out, violates the protocol, or the server drains.
 func (s *session) serve() {
 	defer s.srv.wg.Done()
 	defer s.teardown()
@@ -81,13 +98,13 @@ func (s *session) serve() {
 		if s.forced.Load() {
 			return
 		}
-		if s.srv.isDraining() && len(s.txns) == 0 {
+		if s.srv.isDraining() && s.txnCount() == 0 && !s.hasInflight() {
 			return
 		}
 		s.setReadDeadline()
 		payload, err := wire.ReadFrame(s.br, s.rbuf)
 		if err != nil {
-			if isTimeout(err) && s.srv.isDraining() && !s.forced.Load() && len(s.txns) > 0 {
+			if isTimeout(err) && s.srv.isDraining() && !s.forced.Load() && (s.txnCount() > 0 || s.hasInflight()) {
 				// Draining with work in flight: keep waiting for the
 				// client to finish its transactions (forceClose breaks
 				// the loop when the drain deadline passes).
@@ -99,6 +116,30 @@ func (s *session) serve() {
 			return
 		}
 		s.rbuf = payload[:cap(payload)]
+		if wire.PayloadVersion(payload) == wire.Version2 || s.v2 {
+			if !s.v2 {
+				s.startPipeline()
+			}
+			req, err := wire.DecodeRequestAny(payload)
+			switch {
+			case err != nil:
+				s.pipelineProtoErr(0, err)
+				s.srv.logf("server: %v: %v", s.conn.RemoteAddr(), err)
+				return
+			case req.Ver != wire.Version2:
+				// Versions never mix: a v1 frame after the latch means the
+				// peer lost protocol state — answer once and drop.
+				s.pipelineProtoErr(0, errVersionDowngrade)
+				s.srv.logf("server: %v: %v", s.conn.RemoteAddr(), errVersionDowngrade)
+				return
+			}
+			// The frame buffer is reused by the next read; hand the
+			// pipeline its own copy of the request header (decoded
+			// variable-length fields are already fresh allocations).
+			r := req
+			s.dispatch(&r)
+			continue
+		}
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
 			// Protocol error: answer once so the peer can log something
@@ -116,6 +157,21 @@ func (s *session) serve() {
 			return
 		}
 	}
+}
+
+// txnCount reports the session's open transactions.
+func (s *session) txnCount() int {
+	s.tmu.Lock()
+	n := len(s.txns)
+	s.tmu.Unlock()
+	return n
+}
+
+// hasInflight reports whether a v2 session still has admitted requests
+// that have not produced a response yet — a draining session must not
+// exit under them (their begins may still register transactions).
+func (s *session) hasInflight() bool {
+	return s.v2 && len(s.sem) > 0
 }
 
 // setReadDeadline arms the next frame read: the idle timeout normally, a
@@ -181,7 +237,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 			EngineName: s.srv.eng.Name(), Caps: uint64(s.srv.caps)}
 
 	case wire.OpRead:
-		t, ok := s.txns[req.Txn]
+		t, ok := s.lookupTxn(req.Txn)
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
@@ -207,7 +263,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK, Found: val != nil, Value: val}
 
 	case wire.OpWrite:
-		t, ok := s.txns[req.Txn]
+		t, ok := s.lookupTxn(req.Txn)
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
@@ -221,7 +277,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK}
 
 	case wire.OpCommit:
-		t, ok := s.txns[req.Txn]
+		t, ok := s.lookupTxn(req.Txn)
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
@@ -233,7 +289,7 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusOK}
 
 	case wire.OpAbort:
-		t, ok := s.txns[req.Txn]
+		t, ok := s.lookupTxn(req.Txn)
 		if !ok {
 			return unknownTxn(req.Txn)
 		}
@@ -244,11 +300,73 @@ func (s *session) handle(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusOK}
 
+	case wire.OpBatch:
+		return s.handleBatch(req)
+
 	case wire.OpStats:
 		return &wire.Response{Status: wire.StatusOK, Stats: s.srv.statEntries()}
 	}
 	return &wire.Response{Status: wire.StatusError,
 		Message: fmt.Sprintf("server: unhandled opcode %v", req.Op)}
+}
+
+// handleBatch executes an OpBatch request: the declared operations run in
+// order against one open transaction, stopping at the first error (whose
+// typed status is preserved, with the failing index prefixed to the
+// message — ops before it have been applied, exactly as if sent
+// individually). The accumulated response size is guarded against
+// MaxFrame so a batch of large reads degrades into a typed error, not a
+// dead connection.
+func (s *session) handleBatch(req *wire.Request) *wire.Response {
+	t, ok := s.lookupTxn(req.Txn)
+	if !ok {
+		return unknownTxn(req.Txn)
+	}
+	sr, shared := t.(cc.SharedReader)
+	results := make([]wire.BatchResult, 0, len(req.Batch))
+	respSize := 32 // header + count headroom
+	for i := range req.Batch {
+		op := &req.Batch[i]
+		g := schema.GranuleID{Segment: schema.SegmentID(op.Seg), Key: op.Key}
+		if op.Write {
+			if len(op.Value) > wire.MaxValue {
+				return batchErrResponse(i, fmt.Errorf("server: value of %d bytes exceeds MaxValue (%d)", len(op.Value), wire.MaxValue))
+			}
+			if err := t.Write(g, op.Value); err != nil {
+				return batchErrResponse(i, err)
+			}
+			results = append(results, wire.BatchResult{Write: true})
+			respSize++
+			continue
+		}
+		// Zero-copy read, same contract as OpRead: the shared slice is
+		// encoded by complete() inside this transaction's serial section.
+		var val []byte
+		var err error
+		if shared {
+			val, err = sr.ReadShared(g)
+		} else {
+			val, err = t.Read(g)
+		}
+		if err != nil {
+			return batchErrResponse(i, err)
+		}
+		respSize += 6 + len(val)
+		if respSize > wire.MaxFrame {
+			return batchErrResponse(i, fmt.Errorf("server: batch response exceeds MaxFrame (%d); split the batch", wire.MaxFrame))
+		}
+		results = append(results, wire.BatchResult{Found: val != nil, Value: val})
+	}
+	s.srv.batchOps.Observe(int64(len(req.Batch)))
+	return &wire.Response{Status: wire.StatusOK, Batch: results}
+}
+
+// batchErrResponse maps a batch operation's error onto the wire, keeping
+// the typed status and naming the failing index.
+func batchErrResponse(i int, err error) *wire.Response {
+	resp := errResponse(err)
+	resp.Message = fmt.Sprintf("batch op %d: %s", i, resp.Message)
+	return resp
 }
 
 // beginResponse registers a freshly begun transaction with the session and
@@ -258,14 +376,33 @@ func (s *session) beginResponse(t cc.Txn, err error) *wire.Response {
 		return errResponse(err)
 	}
 	id := uint64(t.ID())
-	s.txns[id] = t
+	s.tmu.Lock()
+	s.txns[id] = &sessTxn{t: t}
+	s.tmu.Unlock()
 	s.srv.txnsOpen.Add(1)
 	return &wire.Response{Status: wire.StatusOK, Txn: id, Class: int32(t.Class())}
 }
 
+// lookupTxn resolves a wire transaction id to the session's open
+// transaction.
+func (s *session) lookupTxn(id uint64) (cc.Txn, bool) {
+	s.tmu.Lock()
+	st, ok := s.txns[id]
+	s.tmu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return st.t, true
+}
+
 func (s *session) dropTxn(id uint64) {
-	if _, ok := s.txns[id]; ok {
+	s.tmu.Lock()
+	_, ok := s.txns[id]
+	if ok {
 		delete(s.txns, id)
+	}
+	s.tmu.Unlock()
+	if ok {
 		s.srv.txnsOpen.Add(-1)
 	}
 }
@@ -277,7 +414,40 @@ func (s *session) dropTxn(id uint64) {
 // capability get a plain Abort, which releases locks/versions through the
 // normal path — still counted as an orphan cleanup when it lands.
 func (s *session) teardown() {
-	for id, t := range s.txns {
+	if s.v2 {
+		// Reap BEFORE quiescing: an in-flight operation can be blocked
+		// inside the engine on a transaction this same session owns (an
+		// MVTO read waiting on a sibling's uncommitted write, an ad-hoc
+		// begin parked on a sibling's admission gate). Waiting for it
+		// first would deadlock until the engine reaper's deadline;
+		// aborting the owners resolves those waits now. Force-abort is
+		// reaper machinery and is safe against concurrently running
+		// operations on the same transaction.
+		s.reapOpenTxns()
+		// Quiesce the pipeline: every admitted request finishes and
+		// queues its response, the writer drains the queue (flushing what
+		// the peer can still receive), then exits.
+		s.inflight.Wait()
+		close(s.wq)
+		<-s.writerDone
+		// Second pass: an in-flight begin that completed after the first
+		// reap registered a fresh transaction nobody will ever finish.
+	}
+	s.reapOpenTxns()
+	s.closeOnce.Do(func() { s.conn.Close() })
+	s.srv.removeSession(s)
+}
+
+// reapOpenTxns force-aborts every transaction the session currently has
+// open, with reaper semantics where the engine offers them.
+func (s *session) reapOpenTxns() {
+	s.tmu.Lock()
+	open := make(map[uint64]cc.Txn, len(s.txns))
+	for id, st := range s.txns {
+		open[id] = st.t
+	}
+	s.tmu.Unlock()
+	for id, t := range open {
 		switch {
 		case s.srv.forceAbort != nil && s.srv.forceAbort.ForceAbort(cc.TxnID(id)):
 			s.srv.forceAborts.Add(1)
@@ -293,8 +463,6 @@ func (s *session) teardown() {
 		}
 		s.dropTxn(id)
 	}
-	s.closeOnce.Do(func() { s.conn.Close() })
-	s.srv.removeSession(s)
 }
 
 // writeResponse encodes and writes one response frame under the write

@@ -29,8 +29,22 @@ func FuzzDecodeRequest(f *testing.F) {
 		req := req
 		f.Add(AppendRequest(nil, &req))
 	}
+	// Tagged v2 frames, including the v2-only OpBatch.
+	for _, req := range []Request{
+		{Op: OpRead, Tag: 0xA1B2C3D4E5F60718, Txn: 7, Seg: 1, Key: 9},
+		{Op: OpHello, Tag: 1},
+		{Op: OpCommit, Tag: 2, Txn: 7},
+		{Op: OpBatch, Tag: 3, Txn: 7, Batch: []BatchOp{
+			{Seg: 0, Key: 1},
+			{Write: true, Seg: 1, Key: 2, Value: []byte("bv")},
+		}},
+	} {
+		req := req
+		f.Add(AppendRequest2(nil, &req))
+	}
 	// Hostile shapes: truncations, unknown opcode, forged value length,
-	// forged ad-hoc read-set count, wrong version, trailing garbage.
+	// forged ad-hoc read-set count, wrong version, trailing garbage,
+	// forged batch count, invalid batch kind, OpBatch claimed as v1.
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, 250})
@@ -39,21 +53,45 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{Version, byte(OpBeginAdHocFor), 0, 0, 0, 1, 0xFF, 0xFF})
 	f.Add([]byte{Version, byte(OpBeginReadOnlyFor), 0xFF, 0xFF})
 	f.Add(append(AppendRequest(nil, &Request{Op: OpCommit, Txn: 1}), 0))
+	f.Add([]byte{Version2, byte(OpStats), 0, 0}) // truncated tag
+	f.Add([]byte{Version2, byte(OpBatch),
+		0, 0, 0, 0, 0, 0, 0, 1, // tag
+		0, 0, 0, 0, 0, 0, 0, 2, // txn
+		0xFF, 0xFF}) // 65535 ops, nothing follows
+	f.Add([]byte{Version2, byte(OpBatch),
+		0, 0, 0, 0, 0, 0, 0, 1, // tag
+		0, 0, 0, 0, 0, 0, 0, 2, // txn
+		0, 1, // one op
+		7,          // invalid kind
+		0, 0, 0, 0, // seg
+		0, 0, 0, 0, 0, 0, 0, 0}) // key
+	f.Add([]byte{Version, byte(OpBatch), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0})
 	f.Fuzz(func(t *testing.T, p []byte) {
-		req, err := DecodeRequest(p)
+		req, err := DecodeRequestAny(p)
 		if err != nil {
+			// The strict v1 decoder must never accept what the
+			// version-agnostic one rejects.
+			if _, v1err := DecodeRequest(p); v1err == nil {
+				t.Fatalf("DecodeRequest accepted what DecodeRequestAny rejected: %x", p)
+			}
 			return
 		}
 		// A successful decode must re-encode to the identical payload:
 		// the codec is canonical, so nothing decodable is unrepresentable.
-		if got := AppendRequest(nil, &req); !bytes.Equal(got, p) {
+		var got []byte
+		if req.Ver == Version2 {
+			got = AppendRequest2(nil, &req)
+		} else {
+			got = AppendRequest(nil, &req)
+		}
+		if !bytes.Equal(got, p) {
 			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", p, got)
 		}
 		// Decoded variable-length fields can never exceed what the payload
 		// itself could carry.
-		if len(req.Value) > len(p) || len(req.ReadSegs)*4 > len(p) {
-			t.Fatalf("decoded fields larger than payload: %d value bytes, %d read segs from %d payload bytes",
-				len(req.Value), len(req.ReadSegs), len(p))
+		if len(req.Value) > len(p) || len(req.ReadSegs)*4 > len(p) || len(req.Batch)*13 > len(p) {
+			t.Fatalf("decoded fields larger than payload: %d value bytes, %d read segs, %d batch ops from %d payload bytes",
+				len(req.Value), len(req.ReadSegs), len(req.Batch), len(p))
 		}
 	})
 }
@@ -99,6 +137,48 @@ func FuzzDecodeResponse(f *testing.F) {
 			t.Fatalf("re-encode mismatch for %v:\n in  %x\n out %x", op, p, got)
 		}
 		if len(resp.Value) > len(p) || len(resp.Stats)*10 > len(p) {
+			t.Fatalf("decoded fields larger than payload")
+		}
+	})
+}
+
+func FuzzDecodeResponse2(f *testing.F) {
+	for _, c := range []struct {
+		op   Op
+		resp Response
+	}{
+		{OpBegin, Response{Status: StatusOK, Tag: 1, Txn: 3, Class: 1}},
+		{OpRead, Response{Status: StatusOK, Tag: 2, Found: true, Value: []byte("v")}},
+		{OpCommit, Response{Status: StatusAbort, Tag: 3, Reason: "write-rejected", Message: "m"}},
+		{OpHello, Response{Status: StatusOK, Tag: 4, EngineName: "HDD", Caps: 0x7F}},
+		{OpBatch, Response{Status: StatusOK, Tag: 5, Batch: []BatchResult{
+			{Found: true, Value: []byte("a")}, {Write: true}, {}}}},
+		{OpBatch, Response{Status: StatusError, Tag: 6, Message: "batch op 1: boom"}},
+	} {
+		c := c
+		f.Add(byte(c.op), AppendResponse2(nil, c.op, &c.resp))
+	}
+	f.Add(byte(OpBatch), []byte{Version2, byte(StatusOK),
+		0, 0, 0, 0, 0, 0, 0, 1, // tag
+		0xFF, 0xFF}) // 65535 results, nothing follows
+	f.Add(byte(OpCommit), []byte{Version2, byte(StatusOK), 0}) // truncated tag
+	f.Add(byte(OpRead), AppendResponse(nil, OpRead, &Response{Status: StatusOK}))
+	f.Fuzz(func(t *testing.T, opByte byte, p []byte) {
+		op := Op(opByte)
+		resp, err := DecodeResponse2(op, p)
+		if err != nil {
+			return
+		}
+		// The demux peek must agree with the full decode for anything
+		// decodable — the client trusts the peek to route the frame.
+		tag, tagErr := ResponseTag(p)
+		if tagErr != nil || tag != resp.Tag {
+			t.Fatalf("ResponseTag = (%d, %v), decode says tag %d", tag, tagErr, resp.Tag)
+		}
+		if got := AppendResponse2(nil, op, &resp); !bytes.Equal(got, p) {
+			t.Fatalf("re-encode mismatch for %v:\n in  %x\n out %x", op, p, got)
+		}
+		if len(resp.Value) > len(p) || len(resp.Stats)*10 > len(p) || len(resp.Batch) > len(p) {
 			t.Fatalf("decoded fields larger than payload")
 		}
 	})

@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// raceEnabled mirrors internal/core's idiom: allocation-count guards skip
+// under -race, where the runtime's instrumentation perturbs accounting.
+const raceEnabled = false

@@ -12,11 +12,11 @@
 //
 // A declared length above MaxFrame is a protocol error and is rejected
 // before any allocation, so a hostile or corrupt peer cannot make the
-// receiver over-allocate. The payload of a request is
+// receiver over-allocate. The payload of a version-1 request is
 //
 //	byte version | byte opcode | opcode-specific fields
 //
-// and of a response
+// and of a version-1 response
 //
 //	byte version | byte status | status-specific fields
 //
@@ -24,6 +24,35 @@
 // length prefix: values a uint32, strings a uint16. Decoders are strict —
 // truncated fields, trailing bytes, unknown opcodes or statuses, and
 // version mismatches all return errors, never panic.
+//
+// # Protocol version 2: tags and pipelining
+//
+// Version-2 frames add an 8-byte client-chosen tag directly after the
+// opcode (requests) or status (responses):
+//
+//	byte 2 | byte opcode | uint64 tag | opcode-specific fields
+//	byte 2 | byte status | uint64 tag | status-specific fields
+//
+// The server echoes the tag verbatim in the matching response, for every
+// status. Tags let a client pipeline many requests on one connection and
+// demultiplex the responses, which MAY arrive out of order: the server
+// only promises that operations addressing the same transaction execute
+// (and are answered) in arrival order. Tag uniqueness among a
+// connection's in-flight requests is the client's responsibility; the
+// server never interprets the value.
+//
+// The field encodings after the tag are identical to version 1, so a
+// version-1 peer and a version-1 frame remain byte-for-byte unchanged.
+// Version 2 additionally carries OpBatch, which is invalid in a
+// version-1 frame. Versions never mix on one connection: the server
+// latches a session to version 2 at its first version-2 frame and
+// rejects version-1 frames afterwards.
+//
+// Negotiation rides on OpHello: a client that wants version 2 sends its
+// Hello as a version-2 frame. A version-2 server answers in kind; a
+// version-1 server answers with a version-1 protocol-error response and
+// drops the connection, after which the client redials and speaks
+// version 1. A version-1 client never notices any of this.
 //
 // # Transactions over the wire
 //
@@ -40,13 +69,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"hdd/internal/cc"
 )
 
-// Version is the protocol version carried in every frame. A peer speaking
-// a different version is rejected at decode time.
+// Version is the base protocol version; version-1 frames carry no tag and
+// are answered strictly in order.
 const Version = 1
+
+// Version2 is the pipelined protocol version: every frame carries a tag,
+// responses may arrive out of order, and OpBatch is available.
+const Version2 = 2
 
 // MaxFrame is the largest payload a frame may declare or carry. It bounds
 // receiver allocation per frame.
@@ -71,12 +105,18 @@ const (
 	OpStats         Op = 8 // snapshot engine + server counters
 	// OpHello reports what the connection is talking to: the backend
 	// engine's name and its capability bits (cc.Capability), so a client
-	// can feature-detect before issuing capability-gated opcodes.
+	// can feature-detect before issuing capability-gated opcodes. Sent as
+	// a version-2 frame it doubles as the version negotiation (see the
+	// package comment).
 	OpHello Op = 9
 	// OpBeginReadOnlyFor begins a read-only transaction declared over a
 	// segment set (cc.ScopedReadOnlyBeginner); the engine picks the
 	// freshest protocol the declaration allows.
 	OpBeginReadOnlyFor Op = 10
+	// OpBatch runs many reads and/or writes against one open transaction
+	// in a single round trip, in declaration order. Version 2 only: a
+	// version-1 frame carrying it is rejected as an unknown opcode.
+	OpBatch Op = 11
 )
 
 // String renders an opcode for diagnostics.
@@ -102,6 +142,8 @@ func (o Op) String() string {
 		return "Hello"
 	case OpBeginReadOnlyFor:
 		return "BeginReadOnlyFor"
+	case OpBatch:
+		return "Batch"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
@@ -138,10 +180,37 @@ const (
 	StatusUnsupported Status = 6
 )
 
+// BatchOp is one operation inside an OpBatch request: a read of (Seg, Key)
+// or, when Write is set, a write of Value to it.
+type BatchOp struct {
+	Write bool
+	Seg   int32
+	Key   uint64
+	Value []byte // write payload; ignored for reads
+}
+
+// BatchResult is one operation's result inside an OpBatch response.
+// Writes carry no payload; reads carry the Found flag and value with
+// OpRead's semantics.
+type BatchResult struct {
+	Write bool
+	Found bool
+	Value []byte
+}
+
 // Request is the decoded form of one request frame. Fields beyond Op are
 // meaningful only for the opcodes that carry them.
 type Request struct {
 	Op Op
+
+	// Ver is the protocol version the frame was decoded from (set by
+	// DecodeRequestAny; plain DecodeRequest always yields Version).
+	// Encoders ignore it: AppendRequest emits version 1, AppendRequest2
+	// version 2.
+	Ver byte
+	// Tag is the client-chosen correlation tag (version 2 only); the
+	// server echoes it in the response.
+	Tag uint64
 
 	// Class is the update class for OpBegin.
 	Class int32
@@ -150,13 +219,17 @@ type Request struct {
 	WriteSeg int32
 	ReadSegs []int32
 
-	// Txn addresses an open transaction (OpRead/OpWrite/OpCommit/OpAbort).
+	// Txn addresses an open transaction (OpRead/OpWrite/OpCommit/OpAbort/
+	// OpBatch).
 	Txn uint64
 	// Seg and Key name the granule for OpRead/OpWrite.
 	Seg int32
 	Key uint64
 	// Value is the payload for OpWrite.
 	Value []byte
+
+	// Batch is the operation list for OpBatch.
+	Batch []BatchOp
 }
 
 // Response is the decoded form of one response frame. Result fields are
@@ -164,6 +237,10 @@ type Request struct {
 // requested; Reason and Message carry error detail for the other statuses.
 type Response struct {
 	Status Status
+
+	// Tag echoes the request's tag (version 2 only; carried for every
+	// status so errors demultiplex too).
+	Tag uint64
 
 	// Txn and Class answer the Begin* family.
 	Txn   uint64
@@ -173,6 +250,9 @@ type Response struct {
 	// read of a granule that does not exist at the visible instant.
 	Found bool
 	Value []byte
+
+	// Batch answers OpBatch, one entry per request operation in order.
+	Batch []BatchResult
 
 	// Stats answers OpStats.
 	Stats []StatEntry
@@ -240,12 +320,48 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// AppendRequest appends req's encoded payload to buf (usually buf[:0] of a
-// reused buffer) and returns the extended slice.
+// PayloadVersion peeks the protocol version byte of a payload (0 when
+// empty); receivers use it to dispatch between the version-1 and
+// version-2 decoders without committing to either.
+func PayloadVersion(p []byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// ResponseTag extracts the tag from a version-2 response payload without
+// decoding the rest — the demultiplexing peek a pipelined client performs
+// before it knows which request (and so which opcode) the frame answers.
+func ResponseTag(p []byte) (uint64, error) {
+	if len(p) < 10 {
+		return 0, fmt.Errorf("wire: %d-byte payload too short for a tagged response", len(p))
+	}
+	if p[0] != Version2 {
+		return 0, fmt.Errorf("wire: protocol version %d, want %d", p[0], Version2)
+	}
+	return binary.BigEndian.Uint64(p[2:10]), nil
+}
+
+// AppendRequest appends req's version-1 encoded payload to buf (usually
+// buf[:0] of a reused buffer) and returns the extended slice.
 func AppendRequest(buf []byte, req *Request) []byte {
+	return appendRequest(buf, req, Version)
+}
+
+// AppendRequest2 appends req's version-2 encoded payload — tagged, and
+// admitting OpBatch — to buf and returns the extended slice.
+func AppendRequest2(buf []byte, req *Request) []byte {
+	return appendRequest(buf, req, Version2)
+}
+
+func appendRequest(buf []byte, req *Request, ver byte) []byte {
 	e := encoder{buf: buf}
-	e.u8(Version)
+	e.u8(ver)
 	e.u8(byte(req.Op))
+	if ver >= Version2 {
+		e.u64(req.Tag)
+	}
 	switch req.Op {
 	case OpBegin:
 		e.i32(req.Class)
@@ -273,20 +389,51 @@ func AppendRequest(buf []byte, req *Request) []byte {
 		e.bytes(req.Value)
 	case OpCommit, OpAbort:
 		e.u64(req.Txn)
+	case OpBatch:
+		e.u64(req.Txn)
+		e.u16(uint16(len(req.Batch)))
+		for i := range req.Batch {
+			op := &req.Batch[i]
+			if op.Write {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+			e.i32(op.Seg)
+			e.u64(op.Key)
+			if op.Write {
+				e.bytes(op.Value)
+			}
+		}
 	}
 	return e.buf
 }
 
-// DecodeRequest decodes one request payload. It is strict: version
-// mismatches, unknown opcodes, truncated fields, oversized counts, and
-// trailing bytes are all errors.
+// DecodeRequest decodes one version-1 request payload. It is strict:
+// version mismatches, unknown opcodes, truncated fields, oversized counts,
+// and trailing bytes are all errors.
 func DecodeRequest(p []byte) (Request, error) {
+	return decodeRequest(p, false)
+}
+
+// DecodeRequestAny decodes a request payload of either protocol version,
+// recording which in Request.Ver — the server's per-frame dispatch point.
+func DecodeRequestAny(p []byte) (Request, error) {
+	return decodeRequest(p, true)
+}
+
+func decodeRequest(p []byte, allowV2 bool) (Request, error) {
 	d := decoder{b: p}
-	if err := d.version(); err != nil {
+	ver, err := d.versionUpTo(allowV2)
+	if err != nil {
 		return Request{}, err
 	}
 	var req Request
+	req.Ver = ver
 	req.Op = Op(d.u8())
+	if ver >= Version2 {
+		req.Tag = d.u64()
+	}
 	switch req.Op {
 	case OpBegin:
 		req.Class = d.i32()
@@ -326,6 +473,34 @@ func DecodeRequest(p []byte) (Request, error) {
 		req.Value = d.bytes()
 	case OpCommit, OpAbort:
 		req.Txn = d.u64()
+	case OpBatch:
+		if ver < Version2 {
+			return Request{}, fmt.Errorf("wire: unknown opcode %d", byte(req.Op))
+		}
+		req.Txn = d.u64()
+		n := int(d.u16())
+		// Each op is at least kind + seg + key = 13 bytes, which bounds
+		// the slice allocation a forged count could demand.
+		if d.err == nil && n*13 > len(d.b) {
+			return Request{}, fmt.Errorf("wire: batch declares %d ops, only %d bytes remain", n, len(d.b))
+		}
+		if d.err == nil && n > 0 {
+			req.Batch = make([]BatchOp, n)
+			for i := range req.Batch {
+				switch k := d.u8(); {
+				case d.err != nil:
+				case k > 1:
+					return Request{}, fmt.Errorf("wire: batch op kind must be 0 or 1, got %d", k)
+				default:
+					req.Batch[i].Write = k == 1
+				}
+				req.Batch[i].Seg = d.i32()
+				req.Batch[i].Key = d.u64()
+				if req.Batch[i].Write {
+					req.Batch[i].Value = d.bytes()
+				}
+			}
+		}
 	default:
 		return Request{}, fmt.Errorf("wire: unknown opcode %d", byte(req.Op))
 	}
@@ -335,13 +510,27 @@ func DecodeRequest(p []byte) (Request, error) {
 	return req, nil
 }
 
-// AppendResponse appends resp's encoded payload to buf and returns the
-// extended slice. op selects which result fields a StatusOK response
-// carries.
+// AppendResponse appends resp's version-1 encoded payload to buf and
+// returns the extended slice. op selects which result fields a StatusOK
+// response carries.
 func AppendResponse(buf []byte, op Op, resp *Response) []byte {
+	return appendResponse(buf, op, resp, Version)
+}
+
+// AppendResponse2 appends resp's version-2 encoded payload — tag echoed
+// after the status, for every status — to buf and returns the extended
+// slice.
+func AppendResponse2(buf []byte, op Op, resp *Response) []byte {
+	return appendResponse(buf, op, resp, Version2)
+}
+
+func appendResponse(buf []byte, op Op, resp *Response, ver byte) []byte {
 	e := encoder{buf: buf}
-	e.u8(Version)
+	e.u8(ver)
 	e.u8(byte(resp.Status))
+	if ver >= Version2 {
+		e.u64(resp.Tag)
+	}
 	if resp.Status != StatusOK {
 		e.str(resp.Reason)
 		e.str(resp.Message)
@@ -363,6 +552,22 @@ func AppendResponse(buf []byte, op Op, resp *Response) []byte {
 		e.bytes(resp.Value)
 	case OpWrite, OpCommit, OpAbort:
 		// no result payload
+	case OpBatch:
+		e.u16(uint16(len(resp.Batch)))
+		for i := range resp.Batch {
+			r := &resp.Batch[i]
+			if r.Write {
+				e.u8(1)
+				continue
+			}
+			e.u8(0)
+			if r.Found {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+			e.bytes(r.Value)
+		}
 	case OpStats:
 		e.u16(uint16(len(resp.Stats)))
 		for _, s := range resp.Stats {
@@ -373,15 +578,34 @@ func AppendResponse(buf []byte, op Op, resp *Response) []byte {
 	return e.buf
 }
 
-// DecodeResponse decodes one response payload for a request of the given
-// opcode, with the same strictness as DecodeRequest.
+// DecodeResponse decodes one version-1 response payload for a request of
+// the given opcode, with the same strictness as DecodeRequest.
 func DecodeResponse(op Op, p []byte) (Response, error) {
+	return decodeResponse(op, p, false)
+}
+
+// DecodeResponse2 decodes one version-2 response payload; the caller
+// learned op from the pending request the tag names (see ResponseTag).
+func DecodeResponse2(op Op, p []byte) (Response, error) {
+	return decodeResponse(op, p, true)
+}
+
+func decodeResponse(op Op, p []byte, v2 bool) (Response, error) {
 	d := decoder{b: p}
-	if err := d.version(); err != nil {
+	var err error
+	if v2 {
+		err = d.versionExactly(Version2)
+	} else {
+		err = d.versionExactly(Version)
+	}
+	if err != nil {
 		return Response{}, err
 	}
 	var resp Response
 	resp.Status = Status(d.u8())
+	if v2 {
+		resp.Tag = d.u64()
+	}
 	switch resp.Status {
 	case StatusOK:
 		switch op {
@@ -402,6 +626,36 @@ func DecodeResponse(op Op, p []byte) (Response, error) {
 			resp.Value = d.bytes()
 		case OpWrite, OpCommit, OpAbort:
 			// no result payload
+		case OpBatch:
+			if !v2 {
+				return Response{}, fmt.Errorf("wire: unknown opcode %d for response", byte(op))
+			}
+			n := int(d.u16())
+			// Each result is at least the kind byte.
+			if d.err == nil && n > len(d.b) {
+				return Response{}, fmt.Errorf("wire: batch declares %d results, only %d bytes remain", n, len(d.b))
+			}
+			if d.err == nil && n > 0 {
+				resp.Batch = make([]BatchResult, n)
+				for i := range resp.Batch {
+					switch k := d.u8(); {
+					case d.err != nil:
+					case k > 1:
+						return Response{}, fmt.Errorf("wire: batch result kind must be 0 or 1, got %d", k)
+					case k == 1:
+						resp.Batch[i].Write = true
+						continue
+					}
+					switch b := d.u8(); {
+					case d.err != nil:
+					case b > 1:
+						return Response{}, fmt.Errorf("wire: found flag must be 0 or 1, got %d", b)
+					default:
+						resp.Batch[i].Found = b == 1
+					}
+					resp.Batch[i].Value = d.bytes()
+				}
+			}
 		case OpStats:
 			n := int(d.u16())
 			// Each entry is at least a 2-byte name prefix + 8-byte value.
@@ -472,6 +726,33 @@ func (r *Response) Err() error {
 	default:
 		return fmt.Errorf("hdd server: %s", r.Message)
 	}
+}
+
+// maxPooledBuffer caps what PutBuffer retains: a frame that ballooned to
+// carry a megabyte value should be garbage, not pinned in the pool.
+const maxPooledBuffer = 64 << 10
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBuffer leases a zero-length encode/decode scratch buffer from the
+// package pool; append into (*b)[:0] exactly as with a caller-owned
+// buffer. Pipelined senders use it so frames built concurrently do not
+// cost one allocation each.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a leased buffer to the pool. The caller must not
+// touch the slice afterwards. Oversized buffers are dropped.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > maxPooledBuffer {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // encoder appends big-endian fields to a buffer.
@@ -582,11 +863,31 @@ func (d *decoder) u32len() int {
 	return 0
 }
 
-func (d *decoder) version() error {
-	if v := d.u8(); d.err == nil && v != Version {
-		return fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+// versionExactly consumes the version byte, requiring want.
+func (d *decoder) versionExactly(want byte) error {
+	if v := d.u8(); d.err == nil && v != want {
+		return fmt.Errorf("wire: protocol version %d, want %d", v, want)
 	}
 	return d.err
+}
+
+// versionUpTo consumes the version byte, accepting Version always and
+// Version2 when allowV2 is set, and returns it.
+func (d *decoder) versionUpTo(allowV2 bool) (byte, error) {
+	v := d.u8()
+	if d.err != nil {
+		return 0, d.err
+	}
+	switch {
+	case v == Version:
+		return v, nil
+	case v == Version2 && allowV2:
+		return v, nil
+	case allowV2:
+		return 0, fmt.Errorf("wire: protocol version %d, want %d or %d", v, Version, Version2)
+	default:
+		return 0, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
 }
 
 func (d *decoder) finish() error {

@@ -1,0 +1,301 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// v2RequestCases covers every opcode as a tagged version-2 frame,
+// including the v2-only OpBatch.
+func v2RequestCases() []Request {
+	return []Request{
+		{Op: OpBegin, Tag: 1, Class: 2},
+		{Op: OpBeginReadOnly, Tag: 0xFFFFFFFFFFFFFFFF},
+		{Op: OpBeginAdHocFor, Tag: 3, WriteSeg: 1, ReadSegs: []int32{0, 2}},
+		{Op: OpBeginReadOnlyFor, Tag: 4, ReadSegs: []int32{0, 3}},
+		{Op: OpRead, Tag: 5, Txn: 42, Seg: 1, Key: 7},
+		{Op: OpWrite, Tag: 6, Txn: 42, Seg: 1, Key: 7, Value: []byte("hello")},
+		{Op: OpCommit, Tag: 7, Txn: 42},
+		{Op: OpAbort, Tag: 8, Txn: 99},
+		{Op: OpStats, Tag: 9},
+		{Op: OpHello, Tag: 10},
+		{Op: OpBatch, Tag: 11, Txn: 42, Batch: []BatchOp{
+			{Seg: 0, Key: 1},
+			{Write: true, Seg: 1, Key: 2, Value: []byte("payload")},
+			{Seg: 2, Key: 3},
+		}},
+		{Op: OpBatch, Tag: 12, Txn: 43, Batch: []BatchOp{
+			{Write: true, Seg: 0, Key: 0, Value: nil},
+		}},
+	}
+}
+
+func TestRequestRoundTripV2(t *testing.T) {
+	for _, req := range v2RequestCases() {
+		req := req
+		t.Run(req.Op.String(), func(t *testing.T) {
+			p := AppendRequest2(nil, &req)
+			got, err := DecodeRequestAny(p)
+			if err != nil {
+				t.Fatalf("DecodeRequestAny: %v", err)
+			}
+			if got.Ver != Version2 {
+				t.Fatalf("decoded Ver = %d, want %d", got.Ver, Version2)
+			}
+			want := req
+			want.Ver = Version2
+			normalizeReq(&got)
+			normalizeReq(&want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func normalizeReq(r *Request) {
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	for i := range r.Batch {
+		if len(r.Batch[i].Value) == 0 {
+			r.Batch[i].Value = nil
+		}
+	}
+}
+
+// TestDecodeRequestAnyAcceptsV1 pins that the version-agnostic decoder
+// treats a v1 frame exactly as DecodeRequest does.
+func TestDecodeRequestAnyAcceptsV1(t *testing.T) {
+	req := Request{Op: OpWrite, Txn: 9, Seg: 1, Key: 2, Value: []byte("v")}
+	p := AppendRequest(nil, &req)
+	got, err := DecodeRequestAny(p)
+	if err != nil {
+		t.Fatalf("DecodeRequestAny(v1): %v", err)
+	}
+	if got.Ver != Version || got.Tag != 0 {
+		t.Fatalf("v1 frame decoded as Ver=%d Tag=%d", got.Ver, got.Tag)
+	}
+	want, err := DecodeRequest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DecodeRequestAny and DecodeRequest disagree on a v1 frame:\n any %+v\n  v1 %+v", got, want)
+	}
+}
+
+// TestV1DecoderRejectsV2 pins backward safety: a strict v1 peer must
+// reject tagged frames and the v2-only opcode rather than misparse them.
+func TestV1DecoderRejectsV2(t *testing.T) {
+	tagged := AppendRequest2(nil, &Request{Op: OpRead, Tag: 1, Txn: 2, Seg: 0, Key: 3})
+	if _, err := DecodeRequest(tagged); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v1 decode of v2 frame: got %v, want version error", err)
+	}
+	// OpBatch inside a claimed-v1 frame is an unknown opcode.
+	batchAsV1 := []byte{Version, byte(OpBatch), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0}
+	if _, err := DecodeRequestAny(batchAsV1); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Fatalf("v1 OpBatch frame: got %v, want unknown-opcode error", err)
+	}
+}
+
+func TestResponseRoundTripV2(t *testing.T) {
+	cases := []struct {
+		op   Op
+		resp Response
+	}{
+		{OpBegin, Response{Status: StatusOK, Tag: 7, Txn: 17, Class: 2}},
+		{OpRead, Response{Status: StatusOK, Tag: 8, Found: true, Value: []byte("v")}},
+		{OpRead, Response{Status: StatusOK, Tag: 9}},
+		{OpCommit, Response{Status: StatusAbort, Tag: 10, Reason: "write-rejected", Message: "too late"}},
+		{OpHello, Response{Status: StatusOK, Tag: 11, EngineName: "HDD", Caps: 0x7F}},
+		{OpStats, Response{Status: StatusOK, Tag: 12, Stats: []StatEntry{{Name: "commits", Value: 3}}}},
+		{OpBatch, Response{Status: StatusOK, Tag: 13, Batch: []BatchResult{
+			{Found: true, Value: []byte("a")},
+			{Write: true},
+			{Found: false},
+		}}},
+		{OpBatch, Response{Status: StatusTxnDone, Tag: 14, Message: "done"}},
+		{OpWrite, Response{Status: StatusError, Tag: 0xDEADBEEF, Message: "boom"}},
+	}
+	for i, c := range cases {
+		p := AppendResponse2(nil, c.op, &c.resp)
+		// The tag must be extractable without decoding — for every status.
+		tag, err := ResponseTag(p)
+		if err != nil {
+			t.Fatalf("case %d (%v): ResponseTag: %v", i, c.op, err)
+		}
+		if tag != c.resp.Tag {
+			t.Fatalf("case %d (%v): ResponseTag = %d, want %d", i, c.op, tag, c.resp.Tag)
+		}
+		got, err := DecodeResponse2(c.op, p)
+		if err != nil {
+			t.Fatalf("case %d (%v): DecodeResponse2: %v", i, c.op, err)
+		}
+		want := c.resp
+		normalizeResp(&got)
+		normalizeResp(&want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d (%v):\n got %+v\nwant %+v", i, c.op, got, want)
+		}
+	}
+}
+
+func normalizeResp(r *Response) {
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	for i := range r.Batch {
+		if len(r.Batch[i].Value) == 0 {
+			r.Batch[i].Value = nil
+		}
+	}
+}
+
+func TestResponseTagErrors(t *testing.T) {
+	if _, err := ResponseTag([]byte{Version2, 0, 1}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	v1 := AppendResponse(nil, OpCommit, &Response{Status: StatusOK})
+	if _, err := ResponseTag(v1); err == nil {
+		t.Fatal("v1 payload accepted")
+	}
+}
+
+func TestDecodeRequestAnyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"bad version", []byte{3, byte(OpBegin), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1}},
+		{"truncated tag", []byte{Version2, byte(OpStats), 0, 0}},
+		{"forged batch count", []byte{Version2, byte(OpBatch),
+			0, 0, 0, 0, 0, 0, 0, 1, // tag
+			0, 0, 0, 0, 0, 0, 0, 2, // txn
+			0xFF, 0xFF, // 65535 ops, nothing follows
+		}},
+		{"bad batch kind", append(
+			AppendRequest2(nil, &Request{Op: OpBatch, Tag: 1, Txn: 2})[:20],
+			0, 1, // count = 1
+			7,          // kind 7: invalid
+			0, 0, 0, 0, // seg
+			0, 0, 0, 0, 0, 0, 0, 0, // key
+		)},
+		{"trailing bytes", append(AppendRequest2(nil, &Request{Op: OpCommit, Tag: 1, Txn: 2}), 0xAA)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeRequestAny(c.p); err == nil {
+				t.Fatalf("DecodeRequestAny(%x) succeeded, want error", c.p)
+			}
+		})
+	}
+}
+
+func TestDecodeResponse2Errors(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		p    []byte
+	}{
+		{"v1 payload", OpCommit, AppendResponse(nil, OpCommit, &Response{Status: StatusOK})},
+		{"truncated tag", OpCommit, []byte{Version2, byte(StatusOK), 0}},
+		{"forged batch count", OpBatch, []byte{Version2, byte(StatusOK),
+			0, 0, 0, 0, 0, 0, 0, 1, // tag
+			0xFF, 0xFF, // 65535 results, nothing follows
+		}},
+		{"trailing bytes", OpWrite, append(AppendResponse2(nil, OpWrite, &Response{Status: StatusOK, Tag: 1}), 9)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeResponse2(c.op, c.p); err == nil {
+				t.Fatalf("DecodeResponse2(%x) succeeded, want error", c.p)
+			}
+		})
+	}
+}
+
+// TestV1EncodingUnchanged pins byte-for-byte v1 compatibility: known
+// frames must encode to the exact historical bytes, so a v1 peer built
+// against an older wire package interoperates unchanged.
+func TestV1EncodingUnchanged(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []byte
+		want []byte
+	}{
+		{
+			"begin",
+			AppendRequest(nil, &Request{Op: OpBegin, Class: 2}),
+			[]byte{1, 1, 0, 0, 0, 2},
+		},
+		{
+			"read",
+			AppendRequest(nil, &Request{Op: OpRead, Txn: 0x0102, Seg: 1, Key: 7}),
+			[]byte{1, 4, 0, 0, 0, 0, 0, 0, 1, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 7},
+		},
+		{
+			"hello",
+			AppendRequest(nil, &Request{Op: OpHello}),
+			[]byte{1, 9},
+		},
+		{
+			"ok write response",
+			AppendResponse(nil, OpWrite, &Response{Status: StatusOK}),
+			[]byte{1, 0},
+		},
+		{
+			"read response",
+			AppendResponse(nil, OpRead, &Response{Status: StatusOK, Found: true, Value: []byte("v")}),
+			[]byte{1, 0, 1, 0, 0, 0, 1, 'v'},
+		},
+	}
+	for _, c := range cases {
+		if !bytes.Equal(c.p, c.want) {
+			t.Fatalf("%s: v1 encoding changed:\n got %x\nwant %x", c.name, c.p, c.want)
+		}
+	}
+}
+
+// TestBufferPool pins the scratch-buffer lease contract.
+func TestBufferPool(t *testing.T) {
+	bp := GetBuffer()
+	if len(*bp) != 0 {
+		t.Fatalf("leased buffer has length %d, want 0", len(*bp))
+	}
+	*bp = append(*bp, 1, 2, 3)
+	PutBuffer(bp)
+	// Oversized buffers must not be retained.
+	huge := make([]byte, 0, maxPooledBuffer+1)
+	PutBuffer(&huge)
+	// Cannot assert it was dropped directly, but the pool must keep
+	// serving zero-length buffers.
+	if b2 := GetBuffer(); len(*b2) != 0 {
+		t.Fatalf("pool returned dirty buffer of length %d", len(*b2))
+	} else {
+		PutBuffer(b2)
+	}
+}
+
+// TestEncodePooledZeroAllocs is the PR 9-style allocation guard for the
+// pooled encode path: steady-state encoding of a tagged request and
+// response into leased buffers must not allocate.
+func TestEncodePooledZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	req := Request{Op: OpRead, Tag: 7, Txn: 1, Seg: 0, Key: 9}
+	resp := Response{Status: StatusOK, Tag: 7, Found: true, Value: []byte("steady")}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		bp := GetBuffer()
+		*bp = AppendRequest2((*bp)[:0], &req)
+		PutBuffer(bp)
+		bp = GetBuffer()
+		*bp = AppendResponse2((*bp)[:0], OpRead, &resp)
+		PutBuffer(bp)
+	}); allocs != 0 {
+		t.Fatalf("pooled encode allocates %.1f times per op, want 0", allocs)
+	}
+}
